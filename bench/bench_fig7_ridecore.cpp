@@ -1,0 +1,98 @@
+// Reproduces Figure 7: PDAT on the ~100k-gate RIDECORE-like design
+// (scalability). Port-based constraints on both fetch ports. Variants:
+// Full (no PDAT), RIDECORE ISA (RV32I + multiply), RV32i, RV32e, MiBench All.
+#include <iostream>
+
+#include "bench_util.h"
+#include "cores/ridecore/ride_tb.h"
+#include "isa/rv32_subsets.h"
+#include "workload/mibench.h"
+
+using namespace pdat;
+using namespace pdat::bench;
+
+int main() {
+  cores::RideCore core = cores::build_ridecore();
+  opt::optimize(core.netlist);
+  core.refresh_handles();
+  std::vector<VariantRow> rows;
+  rows.push_back(make_row("RIDECORE Full (no PDAT)", core.netlist));
+
+  // RIDECORE implements RV32I plus the multiply instructions.
+  isa::RvSubset ride_isa = isa::rv32_subset_named("rv32im").without({"div", "divu", "rem", "remu",
+                                                                     });
+  ride_isa.name = "ridecore-isa";
+
+  isa::RvSubset mib = workload::group_subset("all");
+  // Drop instructions RIDECORE does not implement (they would make the
+  // environment exercise the halt path only): the divides and the whole C
+  // extension (RIDECORE is word-aligned, fixed-width fetch — MiBench would
+  // be compiled without C for it).
+  mib = mib.without({"div", "divu", "rem", "remu"});
+  {
+    std::vector<int> keep;
+    for (int idx : mib.instrs) {
+      if (isa::rv32_instructions()[static_cast<std::size_t>(idx)].ext != isa::RvExt::C) {
+        keep.push_back(idx);
+      }
+    }
+    mib.instrs = std::move(keep);
+  }
+  isa::RvSubset rv32e = isa::rv32_subset_named("rv32e");
+
+  struct V {
+    std::string label;
+    const isa::RvSubset* subset;
+  };
+  const isa::RvSubset rv32i = isa::rv32_subset_named("rv32i");
+  const V variants[] = {
+      {"RIDECORE ISA", &ride_isa},
+      {"RV32i", &rv32i},
+      {"RV32e", &rv32e},
+      {"MiBench All", &mib},
+  };
+  PdatOptions opt;
+  opt.sim.cycles = 1024;
+  opt.sim.restarts = 2;
+
+  PdatResult rv32i_res, rv32e_res;
+  for (const auto& v : variants) {
+    Timer t;
+    PdatResult res = run_pdat(
+        core.netlist, [&](Netlist& a) { return restrict_ride_ports(a, *v.subset, &core); }, opt);
+    rows.push_back(make_row(v.label, res, t.seconds()));
+    if (v.label == "RV32i") rv32i_res = std::move(res);
+    else if (v.label == "RV32e") rv32e_res = std::move(res);
+  }
+
+  // Correctness: an RV32I program must run identically on the RV32i core.
+  const auto prog = isa::assemble_rv32(R"(
+      li a0, 0
+      li t0, 1
+    loop:
+      add a0, a0, t0
+      slli t1, a0, 3
+      xor a0, a0, t1
+      sw a0, 0x100(x0)
+      lw t2, 0x100(x0)
+      add a0, a0, t2
+      addi t0, t0, 1
+      li t3, 20
+      blt t0, t3, loop
+      ebreak
+  )");
+  const std::string err = cores::ride_cosim_against_iss(rv32i_res.transformed, prog.words);
+  if (!err.empty()) {
+    std::cout << "!! reduced RIDECORE diverged: " << err << "\n";
+    return 1;
+  }
+
+  print_variant_table(std::cout, rows, "Figure 7: RIDECORE variants",
+                      "RIDECORE Full (no PDAT)");
+  const long delta =
+      static_cast<long>(rv32i_res.gates_after) - static_cast<long>(rv32e_res.gates_after);
+  std::cout << "RV32i -> RV32e absolute delta: " << delta << " gates (paper: 1920, over 2x\n"
+            << "the corresponding Ibex delta — percentages are muted because the\n"
+            << "out-of-order structures are largely ISA-subset-insensitive).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Microbenchmarks (google-benchmark) of the substrate components: the
+// bit-parallel netlist simulator, the SAT solver on netlist equivalence
+// obligations, and the logic optimizer.
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "cores/ibex/ibex_core.h"
+#include "formal/cnf_encoder.h"
+#include "opt/optimizer.h"
+#include "sat/solver.h"
+#include "sim/bitsim.h"
+
+namespace {
+
+const pdat::Netlist& ibex_netlist() {
+  static const pdat::cores::IbexCore core = [] {
+    pdat::cores::IbexCore c = pdat::cores::build_ibex();
+    pdat::opt::optimize(c.netlist);
+    return c;
+  }();
+  return core.netlist;
+}
+
+void BM_BitSimCycle(benchmark::State& state) {
+  const pdat::Netlist& nl = ibex_netlist();
+  pdat::BitSim sim(nl);
+  pdat::Rng rng(7);
+  for (auto _ : state) {
+    for (const auto& p : nl.inputs()) {
+      for (pdat::NetId n : p.bits) sim.set_input(n, rng.next());
+    }
+    sim.step();
+    benchmark::DoNotOptimize(sim.value(nl.outputs()[0].bits[0]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.gate_count()) * 64);
+}
+BENCHMARK(BM_BitSimCycle);
+
+void BM_FrameEncode(benchmark::State& state) {
+  const pdat::Netlist& nl = ibex_netlist();
+  for (auto _ : state) {
+    pdat::sat::Solver s;
+    pdat::FrameEncoder enc(nl);
+    const pdat::Frame f = enc.encode(s);
+    benchmark::DoNotOptimize(f.net_var.back());
+  }
+}
+BENCHMARK(BM_FrameEncode);
+
+void BM_SatCombinationalQuery(benchmark::State& state) {
+  // One frame of the core; repeatedly ask for an instruction decoding to a
+  // store with a particular address bit pattern (satisfiable each time).
+  const pdat::Netlist& nl = ibex_netlist();
+  pdat::sat::Solver s;
+  pdat::FrameEncoder enc(nl);
+  const pdat::Frame f = enc.encode(s);
+  const pdat::Port* out = nl.find_output("dmem_addr");
+  int bit = 0;
+  for (auto _ : state) {
+    const auto r = s.solve({f.lit(out->bits[static_cast<std::size_t>(bit)], true)}, 100000);
+    benchmark::DoNotOptimize(r);
+    bit = (bit + 1) % 32;
+  }
+}
+BENCHMARK(BM_SatCombinationalQuery);
+
+void BM_OptimizeIbex(benchmark::State& state) {
+  for (auto _ : state) {
+    pdat::cores::IbexCore core = pdat::cores::build_ibex();
+    pdat::opt::optimize(core.netlist);
+    benchmark::DoNotOptimize(core.netlist.gate_count());
+  }
+}
+BENCHMARK(BM_OptimizeIbex)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

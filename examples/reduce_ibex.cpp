@@ -1,0 +1,87 @@
+// Generates a reduced-ISA Ibex variant from the command line, verifies it in
+// lockstep against the ISS on a smoke-test program, and writes the reduced
+// netlist as structural Verilog.
+//
+//   ./reduce_ibex [subset] [out.v]
+//
+// subset: rv32imcz rv32imc rv32im rv32ic rv32i rv32e rv32ec (default rv32i),
+// or one of: reduced-addressing safety-critical no-parallelism aligned risc16,
+// or mibench-networking mibench-security mibench-automotive mibench-all.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cores/ibex/ibex_core.h"
+#include "cores/ibex/ibex_tb.h"
+#include "isa/rv32_assembler.h"
+#include "isa/rv32_subsets.h"
+#include "netlist/verilog.h"
+#include "opt/optimizer.h"
+#include "pdat/pipeline.h"
+#include "workload/mibench.h"
+
+using namespace pdat;
+
+namespace {
+
+isa::RvSubset pick_subset(const std::string& name) {
+  if (name == "reduced-addressing") return isa::rv32_subset_reduced_addressing();
+  if (name == "safety-critical") return isa::rv32_subset_safety_critical();
+  if (name == "no-parallelism") return isa::rv32_subset_no_parallelism();
+  if (name == "aligned") return isa::rv32_subset_aligned();
+  if (name == "risc16") return isa::rv32_subset_risc16();
+  if (name.rfind("mibench-", 0) == 0) return workload::group_subset(name.substr(8));
+  return isa::rv32_subset_named(name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string subset_name = argc > 1 ? argv[1] : "rv32i";
+  const std::string out_path = argc > 2 ? argv[2] : "";
+
+  const isa::RvSubset subset = pick_subset(subset_name);
+  std::cout << "subset '" << subset.name << "': " << subset.size() << " instructions"
+            << (subset.rve ? " (x0-x15 only)" : "") << "\n";
+
+  cores::IbexCore core = cores::build_ibex();
+  opt::optimize(core.netlist);
+  core.refresh_handles();
+  std::cout << "baseline Ibex: " << core.netlist.gate_count() << " gates, "
+            << core.netlist.area() << " um^2\n";
+
+  const auto instr_q = core.instr_reg_q;
+  const PdatResult res = run_pdat(core.netlist, [&](Netlist& a) {
+    return restrict_isa_cutpoint(a, instr_q, subset);
+  });
+  std::cout << "reduced core:  " << res.gates_after << " gates, " << res.area_after
+            << " um^2  (" << res.proven << " invariants proved, "
+            << 100.0 * (1.0 - static_cast<double>(res.gates_after) /
+                                  static_cast<double>(res.gates_before))
+            << "% fewer gates)\n";
+
+  // Smoke-test in lockstep with the ISS, when the subset can express it.
+  if (subset.contains("addi") && subset.contains("add") && subset.contains("bne") &&
+      !subset.rve) {
+    const auto prog = isa::assemble_rv32(R"(
+        li a0, 0
+        li t0, 1
+      loop:
+        add a0, a0, t0
+        addi t0, t0, 1
+        li t1, 10
+        bne t0, t1, loop
+        ebreak
+    )");
+    const std::string err = cores::cosim_against_iss(res.transformed, prog.words);
+    std::cout << (err.empty() ? "lockstep smoke test: PASS\n"
+                              : "lockstep smoke test: " + err + "\n");
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    write_verilog(out, res.transformed, "ibex_" + subset.name);
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

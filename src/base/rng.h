@@ -1,0 +1,32 @@
+// Deterministic xoshiro256** pseudo-random generator.
+//
+// Everything in this repo that draws random numbers (simulation vectors,
+// obfuscation, workload data) goes through this generator so that runs are
+// reproducible bit-for-bit from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace pdat {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli(p/256) coin.
+  bool chance(unsigned p_of_256);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pdat

@@ -1,0 +1,34 @@
+// Cortex-M0-like core: ARMv6-M (Thumb), in-order, halfword fetch unit.
+//
+// Matches the ThumbIss golden model halfword-for-halfword:
+//  * one 16-bit instruction per cycle; 32-bit encodings (BL/MSR/MRS/
+//    barriers) take two cycles through a wide-prefix register;
+//  * LDM/STM/PUSH/POP run a one-register-per-cycle transfer sequencer;
+//  * MULS uses a 32-cycle serial multiplier;
+//  * BKPT/SVC/UDF and undefined encodings halt the core (sticky);
+//  * full NZCV flag semantics, including the >=32 register-shift cases.
+//
+// For the paper's §VII-B experiments the netlist is obfuscated afterwards
+// (opt::obfuscate) and only port-based constraints are attached (the fetch
+// halfword input port), since cutpoints require netlist visibility.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+#include "synth/builder.h"
+
+namespace pdat::cores {
+
+struct Cm0Config {
+  std::uint32_t sp_reset = 0x10000;
+  std::uint32_t instr_reset_value = 0xbf00;  // NOP in the fetch register
+};
+
+struct Cm0Core {
+  Netlist netlist;
+};
+
+Cm0Core build_cm0(const Cm0Config& cfg = {});
+
+}  // namespace pdat::cores

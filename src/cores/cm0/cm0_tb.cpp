@@ -1,0 +1,167 @@
+#include "cores/cm0/cm0_tb.h"
+
+#include <sstream>
+
+#include "base/types.h"
+
+namespace pdat::cores {
+
+Cm0Testbench::Cm0Testbench(const Netlist& nl, std::size_t mem_bytes)
+    : nl_(nl), sim_(nl), mem_(mem_bytes, 0) {
+  auto in = [&](const char* n) {
+    const Port* p = nl_.find_input(n);
+    if (p == nullptr) throw PdatError(std::string("cm0 tb: missing input ") + n);
+    return p;
+  };
+  auto out = [&](const char* n) {
+    const Port* p = nl_.find_output(n);
+    if (p == nullptr) throw PdatError(std::string("cm0 tb: missing output ") + n);
+    return p;
+  };
+  in_imem_ = in("imem_rdata");
+  in_dmem_ = in("dmem_rdata");
+  out_imem_addr_ = out("imem_addr");
+  out_dmem_addr_ = out("dmem_addr");
+  out_dmem_wdata_ = out("dmem_wdata");
+  out_dmem_be_ = out("dmem_be");
+  out_dmem_re_ = out("dmem_re");
+  out_dmem_we_ = out("dmem_we");
+  out_reg_we_ = out("reg_we");
+  out_reg_waddr_ = out("reg_waddr");
+  out_reg_wdata_ = out("reg_wdata");
+  out_halted_ = out("halted");
+  out_flags_ = out("flags");
+}
+
+void Cm0Testbench::load_halfwords(std::uint32_t addr, const std::vector<std::uint16_t>& halves) {
+  for (std::size_t i = 0; i < halves.size(); ++i) {
+    const std::uint32_t a = addr + static_cast<std::uint32_t>(2 * i);
+    mem_[a % mem_.size()] = static_cast<std::uint8_t>(halves[i]);
+    mem_[(a + 1) % mem_.size()] = static_cast<std::uint8_t>(halves[i] >> 8);
+  }
+}
+
+void Cm0Testbench::reset() {
+  sim_.reset();
+  reg_writes_.clear();
+  mem_writes_.clear();
+}
+
+std::uint32_t Cm0Testbench::read_word(std::uint32_t addr) const {
+  std::uint32_t v = 0;
+  for (int k = 0; k < 4; ++k)
+    v |= static_cast<std::uint32_t>(mem_[(addr + static_cast<std::uint32_t>(k)) % mem_.size()])
+         << (8 * k);
+  return v;
+}
+
+bool Cm0Testbench::cycle() {
+  sim_.eval();
+  auto imem_addr = static_cast<std::uint32_t>(sim_.read_port(*out_imem_addr_, 0));
+  const auto dmem_addr = static_cast<std::uint32_t>(sim_.read_port(*out_dmem_addr_, 0));
+  sim_.set_port_uniform(*in_imem_, read_word(imem_addr) & 0xffff);
+  sim_.set_port_uniform(*in_dmem_, read_word(dmem_addr & ~3u));
+  sim_.eval();
+  // pop {.., pc} makes the next fetch address depend on the loaded data —
+  // re-serve the instruction word if the address moved and settle again.
+  const auto imem_addr2 = static_cast<std::uint32_t>(sim_.read_port(*out_imem_addr_, 0));
+  if (imem_addr2 != imem_addr) {
+    imem_addr = imem_addr2;
+    sim_.set_port_uniform(*in_imem_, read_word(imem_addr) & 0xffff);
+    sim_.eval();
+  }
+  const bool halted_now = sim_.read_port(*out_halted_, 0) != 0;
+  if (sim_.read_port(*out_reg_we_, 0) != 0) {
+    reg_writes_.push_back({static_cast<unsigned>(sim_.read_port(*out_reg_waddr_, 0)),
+                           static_cast<std::uint32_t>(sim_.read_port(*out_reg_wdata_, 0))});
+  }
+  if (sim_.read_port(*out_dmem_we_, 0) != 0) {
+    const auto be = static_cast<unsigned>(sim_.read_port(*out_dmem_be_, 0));
+    const auto wdata = static_cast<std::uint32_t>(sim_.read_port(*out_dmem_wdata_, 0));
+    const std::uint32_t base = dmem_addr & ~3u;
+    unsigned first = 4, count = 0;
+    for (unsigned k = 0; k < 4; ++k) {
+      if ((be >> k) & 1) {
+        mem_[(base + k) % mem_.size()] = static_cast<std::uint8_t>(wdata >> (8 * k));
+        if (first == 4) first = k;
+        ++count;
+      }
+    }
+    std::uint32_t value = 0;
+    for (unsigned k = 0; k < count; ++k) {
+      value |= static_cast<std::uint32_t>(mem_[(base + first + k) % mem_.size()]) << (8 * k);
+    }
+    mem_writes_.push_back({base + first, value, count});
+  }
+  sim_.latch();
+  return !halted_now;
+}
+
+std::uint64_t Cm0Testbench::run(std::uint64_t max_cycles) {
+  std::uint64_t n = 0;
+  while (n < max_cycles) {
+    ++n;
+    if (!cycle()) break;
+  }
+  return n;
+}
+
+unsigned Cm0Testbench::final_flags() const {
+  return static_cast<unsigned>(sim_.read_port(*out_flags_, 0));
+}
+
+std::string cm0_cosim_against_iss(const Netlist& nl, const std::vector<std::uint16_t>& program,
+                                  std::uint64_t max_cycles) {
+  iss::ThumbIss iss;
+  iss.load_halfwords(0, program);
+  iss.reset();
+  iss.set_tracing(true);
+  iss.run(max_cycles);
+  if (!iss.halted()) return "ISS did not halt";
+  if (iss.undefined()) return "ISS hit an undefined instruction";
+
+  Cm0Testbench tb(nl);
+  tb.load_halfwords(0, program);
+  tb.reset();
+  tb.run(max_cycles);
+
+  std::ostringstream os;
+  const auto& ra = iss.reg_writes();
+  const auto& rb = tb.reg_writes();
+  for (std::size_t i = 0; i < std::min(ra.size(), rb.size()); ++i) {
+    if (ra[i].reg != rb[i].reg || ra[i].value != rb[i].value) {
+      os << "reg stream diverges at " << i << ": iss r" << ra[i].reg << "=0x" << std::hex
+         << ra[i].value << " core r" << std::dec << rb[i].reg << "=0x" << std::hex
+         << rb[i].value;
+      return os.str();
+    }
+  }
+  if (ra.size() != rb.size()) {
+    os << "reg stream length: iss " << ra.size() << " core " << rb.size();
+    return os.str();
+  }
+  const auto& ma = iss.mem_writes();
+  const auto& mb = tb.mem_writes();
+  for (std::size_t i = 0; i < std::min(ma.size(), mb.size()); ++i) {
+    if (ma[i].addr != mb[i].addr || ma[i].value != mb[i].value || ma[i].size != mb[i].size) {
+      os << "mem stream diverges at " << i << ": iss [0x" << std::hex << ma[i].addr << "]=0x"
+         << ma[i].value << "/" << std::dec << ma[i].size << " core [0x" << std::hex
+         << mb[i].addr << "]=0x" << mb[i].value << "/" << std::dec << mb[i].size;
+      return os.str();
+    }
+  }
+  if (ma.size() != mb.size()) {
+    os << "mem stream length: iss " << ma.size() << " core " << mb.size();
+    return os.str();
+  }
+  const unsigned core_flags = tb.final_flags();
+  const unsigned iss_flags = (iss.flag_n() ? 1u : 0) | (iss.flag_z() ? 2u : 0) |
+                             (iss.flag_c() ? 4u : 0) | (iss.flag_v() ? 8u : 0);
+  if (core_flags != iss_flags) {
+    os << "final flags differ: iss " << iss_flags << " core " << core_flags;
+    return os.str();
+  }
+  return std::string();
+}
+
+}  // namespace pdat::cores

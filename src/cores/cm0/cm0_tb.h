@@ -1,0 +1,48 @@
+// Gate-level testbench for the Cortex-M0-like core, with architectural
+// effect capture (register-write and memory-write streams) for lockstep
+// validation against ThumbIss.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iss/thumb_iss.h"
+#include "netlist/netlist.h"
+#include "sim/bitsim.h"
+
+namespace pdat::cores {
+
+class Cm0Testbench {
+ public:
+  explicit Cm0Testbench(const Netlist& nl, std::size_t mem_bytes = 1 << 20);
+
+  void load_halfwords(std::uint32_t addr, const std::vector<std::uint16_t>& halves);
+  void reset();
+  bool cycle();  // false once halted
+  std::uint64_t run(std::uint64_t max_cycles);
+
+  const std::vector<iss::ThumbIss::RegWrite>& reg_writes() const { return reg_writes_; }
+  const std::vector<iss::ThumbIss::MemWrite>& mem_writes() const { return mem_writes_; }
+  unsigned final_flags() const;  // NZCV packed as bits 3..0
+
+ private:
+  const Netlist& nl_;
+  BitSim sim_;
+  std::vector<std::uint8_t> mem_;
+  std::vector<iss::ThumbIss::RegWrite> reg_writes_;
+  std::vector<iss::ThumbIss::MemWrite> mem_writes_;
+
+  const Port *in_imem_, *in_dmem_;
+  const Port *out_imem_addr_, *out_dmem_addr_, *out_dmem_wdata_, *out_dmem_be_, *out_dmem_re_,
+      *out_dmem_we_, *out_reg_we_, *out_reg_waddr_, *out_reg_wdata_, *out_halted_, *out_flags_;
+
+  std::uint32_t read_word(std::uint32_t addr) const;
+};
+
+/// Runs the program on the netlist and on ThumbIss; compares the register
+/// and memory write streams plus final flags. Empty string = match.
+std::string cm0_cosim_against_iss(const Netlist& nl, const std::vector<std::uint16_t>& program,
+                                  std::uint64_t max_cycles = 400000);
+
+}  // namespace pdat::cores

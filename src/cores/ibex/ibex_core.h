@@ -1,0 +1,52 @@
+// Ibex-like core: scalar, in-order, 2-stage (IF + ID/EX) RV32IMC + Zicsr /
+// Zifencei, mirroring the paper's first evaluation target (Table II row 1).
+//
+// Microarchitecture summary:
+//  * IF: pc register + fetch-decode pipeline register (instr_reg). The
+//    fetched word always starts at an instruction boundary; compressed
+//    instructions use the low half. instr_reg resets to a configurable NOP
+//    encoding so cutpoint-based environments stay satisfied at cycle 0.
+//  * ID/EX: compressed expander -> decoder -> regfile read -> ALU / LSU /
+//    iterative multiplier-divider / CSR file -> writeback. 1 instruction per
+//    cycle except mul/div (33 cycles) which stall the pipeline.
+//  * ecall/ebreak/illegal-instruction halt the core (sticky), matching the
+//    ISS golden model.
+//  * Data memory: word interface with byte enables; sub-word accesses are
+//    aligned within the addressed word (no word-boundary crossing).
+//
+// The returned structure exposes the nets PDAT environments attach to:
+// the fetch-decode register (cutpoint target, paper Fig. 4) and the data
+// memory address/request (alignment restrictions).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+#include "synth/builder.h"
+
+namespace pdat::cores {
+
+struct IbexConfig {
+  bool has_m = true;                    // multiplier/divider unit
+  bool has_c = true;                    // compressed expander
+  bool has_z = true;                    // CSR file + fence.i
+  std::uint32_t instr_reset_value = 0x00000013;  // NOP placed in instr_reg at reset
+};
+
+struct IbexCore {
+  Netlist netlist;
+  // PDAT hookup points (valid nets in `netlist`). These carry stable net
+  // names ("pdat_instr_q[i]", ...), so after any pass that renumbers nets
+  // (e.g. opt::optimize) call refresh_handles() to re-resolve them.
+  synth::Bus instr_reg_q;   // 32-bit fetch-decode pipeline register outputs
+  NetId instr_valid_q = kNoNet;
+  synth::Bus dmem_addr;     // byte address of the current data access
+  NetId dmem_re = kNoNet;   // load this cycle
+  NetId dmem_we = kNoNet;   // store this cycle
+
+  void refresh_handles();
+};
+
+IbexCore build_ibex(const IbexConfig& cfg = {});
+
+}  // namespace pdat::cores

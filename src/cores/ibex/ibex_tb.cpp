@@ -1,0 +1,195 @@
+#include "cores/ibex/ibex_tb.h"
+
+#include <sstream>
+
+#include "base/types.h"
+
+namespace pdat::cores {
+
+IbexTestbench::IbexTestbench(const Netlist& nl, std::size_t mem_bytes)
+    : nl_(nl), sim_(nl), mem_(mem_bytes, 0) {
+  auto need_in = [&](const char* n) {
+    const Port* p = nl_.find_input(n);
+    if (p == nullptr) throw PdatError(std::string("testbench: missing input ") + n);
+    return p;
+  };
+  auto need_out = [&](const char* n) {
+    const Port* p = nl_.find_output(n);
+    if (p == nullptr) throw PdatError(std::string("testbench: missing output ") + n);
+    return p;
+  };
+  in_imem_ = need_in("imem_rdata");
+  in_dmem_ = need_in("dmem_rdata");
+  out_imem_addr_ = need_out("imem_addr");
+  out_dmem_addr_ = need_out("dmem_addr");
+  out_dmem_wdata_ = need_out("dmem_wdata");
+  out_dmem_be_ = need_out("dmem_be");
+  out_dmem_re_ = need_out("dmem_re");
+  out_dmem_we_ = need_out("dmem_we");
+  out_retire_ = need_out("retire_valid");
+  out_retire_pc_ = need_out("retire_pc");
+  out_rd_we_ = need_out("rd_we");
+  out_rd_addr_ = need_out("rd_addr");
+  out_rd_wdata_ = need_out("rd_wdata");
+  out_halted_ = need_out("halted");
+}
+
+void IbexTestbench::load_words(std::uint32_t addr, const std::vector<std::uint32_t>& words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::uint32_t a = addr + static_cast<std::uint32_t>(4 * i);
+    for (int k = 0; k < 4; ++k) {
+      mem_[(a + static_cast<std::uint32_t>(k)) % mem_.size()] =
+          static_cast<std::uint8_t>(words[i] >> (8 * k));
+    }
+  }
+}
+
+void IbexTestbench::reset() {
+  sim_.reset();
+  trace_.clear();
+  retired_ = 0;
+  pending_store_count_ = 0;
+}
+
+std::uint32_t IbexTestbench::read_mem_word(std::uint32_t byte_addr) const {
+  std::uint32_t v = 0;
+  for (int k = 0; k < 4; ++k) {
+    v |= static_cast<std::uint32_t>(
+             mem_[(byte_addr + static_cast<std::uint32_t>(k)) % mem_.size()])
+         << (8 * k);
+  }
+  return v;
+}
+
+std::uint32_t IbexTestbench::mem_word(std::uint32_t addr) const { return read_mem_word(addr); }
+
+bool IbexTestbench::cycle() {
+  // Phase 1: evaluate with stale memory inputs to observe the addresses.
+  sim_.eval();
+  const auto imem_addr = static_cast<std::uint32_t>(sim_.read_port(*out_imem_addr_, 0));
+  const auto dmem_addr = static_cast<std::uint32_t>(sim_.read_port(*out_dmem_addr_, 0));
+  // Instruction fetch serves the word starting at the (halfword-aligned)
+  // PC; the data port serves the aligned word containing the address and
+  // the core extracts the selected bytes itself.
+  sim_.set_port_uniform(*in_imem_, read_mem_word(imem_addr));
+  sim_.set_port_uniform(*in_dmem_, read_mem_word(dmem_addr & ~3u));
+  // Phase 2: evaluate with memory data present, then observe side effects.
+  sim_.eval();
+  const bool halted_now = sim_.read_port(*out_halted_, 0) != 0;
+  const bool retiring = sim_.read_port(*out_retire_, 0) != 0;
+
+  // Apply any data-memory write this cycle (crossing accesses write in two
+  // cycles; only the second one retires).
+  bool wrote = false;
+  std::uint32_t wr_first = 0;
+  unsigned wr_count = 0;
+  if (sim_.read_port(*out_dmem_we_, 0) != 0) {
+    const auto be = static_cast<unsigned>(sim_.read_port(*out_dmem_be_, 0));
+    const auto wdata = static_cast<std::uint32_t>(sim_.read_port(*out_dmem_wdata_, 0));
+    const std::uint32_t word_base = dmem_addr & ~3u;
+    unsigned first = 4;
+    for (unsigned k = 0; k < 4; ++k) {
+      if ((be >> k) & 1) {
+        mem_[(word_base + k) % mem_.size()] = static_cast<std::uint8_t>(wdata >> (8 * k));
+        if (first == 4) first = k;
+        ++wr_count;
+      }
+    }
+    wr_first = word_base + first;
+    wrote = true;
+  }
+  if (wrote && !retiring) {
+    // First half of a crossing store: remember it for the retiring half.
+    pending_store_addr_ = wr_first;
+    pending_store_count_ = wr_count;
+  }
+
+  if (retiring) {
+    ++retired_;
+    iss::Rv32Iss::TraceEntry te;
+    te.pc = static_cast<std::uint32_t>(sim_.read_port(*out_retire_pc_, 0));
+    bool any = false;
+    if (sim_.read_port(*out_rd_we_, 0) != 0) {
+      te.rd = static_cast<unsigned>(sim_.read_port(*out_rd_addr_, 0));
+      te.rd_value = static_cast<std::uint32_t>(sim_.read_port(*out_rd_wdata_, 0));
+      any = te.rd != 0;
+    }
+    if (wrote) {
+      te.mem_write = true;
+      std::uint32_t addr = wr_first;
+      unsigned count = wr_count;
+      if (pending_store_count_ != 0) {
+        addr = pending_store_addr_;
+        count += pending_store_count_;
+        pending_store_count_ = 0;
+      }
+      te.mem_addr = addr;
+      te.mem_size = count;
+      std::uint32_t value = 0;
+      for (unsigned k = 0; k < count; ++k) {
+        value |= static_cast<std::uint32_t>(mem_[(addr + k) % mem_.size()]) << (8 * k);
+      }
+      te.mem_value = value;
+      any = true;
+    }
+    if (any) trace_.push_back(te);
+  }
+  sim_.latch();
+  return !halted_now;
+}
+
+std::uint64_t IbexTestbench::run(std::uint64_t max_cycles) {
+  std::uint64_t n = 0;
+  while (n < max_cycles) {
+    ++n;
+    if (!cycle()) break;
+  }
+  return n;
+}
+
+bool IbexTestbench::halted() const {
+  // Note: reads the last evaluated value.
+  return sim_.read_port(*out_halted_, 0) != 0;
+}
+
+std::string cosim_against_iss(const Netlist& nl, const std::vector<std::uint32_t>& program,
+                              std::uint64_t max_cycles) {
+  iss::Rv32Iss iss;
+  iss.load_words(0, program);
+  iss.reset();
+  iss.set_tracing(true);
+  iss.run(max_cycles);
+  if (!iss.halted()) return "ISS did not halt within the cycle limit";
+
+  IbexTestbench tb(nl);
+  tb.load_words(0, program);
+  tb.reset();
+  tb.run(max_cycles);
+
+  const auto& a = iss.trace();
+  const auto& b = tb.trace();
+  std::ostringstream os;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].pc != b[i].pc || a[i].rd != b[i].rd || a[i].rd_value != b[i].rd_value ||
+        a[i].mem_write != b[i].mem_write || a[i].mem_addr != b[i].mem_addr ||
+        a[i].mem_value != b[i].mem_value || a[i].mem_size != b[i].mem_size) {
+      os << "trace divergence at entry " << i << ": iss pc=0x" << std::hex << a[i].pc << " rd=x"
+         << std::dec << a[i].rd << "=0x" << std::hex << a[i].rd_value << " vs core pc=0x"
+         << b[i].pc << " rd=x" << std::dec << b[i].rd << "=0x" << std::hex << b[i].rd_value;
+      if (a[i].mem_write || b[i].mem_write) {
+        os << " | mem iss [0x" << a[i].mem_addr << "]=0x" << a[i].mem_value << "/" << std::dec
+           << a[i].mem_size << " core [0x" << std::hex << b[i].mem_addr << "]=0x"
+           << b[i].mem_value << "/" << std::dec << b[i].mem_size;
+      }
+      return os.str();
+    }
+  }
+  if (a.size() != b.size()) {
+    os << "trace length mismatch: iss " << a.size() << " vs core " << b.size();
+    return os.str();
+  }
+  return std::string();
+}
+
+}  // namespace pdat::cores

@@ -1,0 +1,70 @@
+// Gate-level testbench for the Ibex-like core: drives a netlist through
+// BitSim with a combinational unified memory, collects the architectural
+// trace (register writebacks, memory writes), and compares against the ISS
+// golden model. Used by tests, examples, and the end-to-end equivalence
+// checks of reduced cores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iss/rv32_iss.h"
+#include "netlist/netlist.h"
+#include "sim/bitsim.h"
+
+namespace pdat::cores {
+
+class IbexTestbench {
+ public:
+  /// The netlist must expose the Ibex port list (see ibex_core.cpp).
+  explicit IbexTestbench(const Netlist& nl, std::size_t mem_bytes = 1 << 20);
+
+  void load_words(std::uint32_t addr, const std::vector<std::uint32_t>& words);
+  void reset();
+
+  /// Runs one clock cycle. Returns true while the core has not halted.
+  bool cycle();
+
+  /// Runs until halt or cycle limit; returns cycles executed.
+  std::uint64_t run(std::uint64_t max_cycles);
+
+  bool halted() const;
+  const std::vector<iss::Rv32Iss::TraceEntry>& trace() const { return trace_; }
+  std::uint32_t mem_word(std::uint32_t addr) const;
+  std::uint64_t retired() const { return retired_; }
+
+ private:
+  const Netlist& nl_;
+  BitSim sim_;
+  std::vector<std::uint8_t> mem_;
+  std::vector<iss::Rv32Iss::TraceEntry> trace_;
+  std::uint64_t retired_ = 0;
+  // First half of an in-flight word-boundary-crossing store.
+  std::uint32_t pending_store_addr_ = 0;
+  unsigned pending_store_count_ = 0;
+
+  const Port* in_imem_;
+  const Port* in_dmem_;
+  const Port* out_imem_addr_;
+  const Port* out_dmem_addr_;
+  const Port* out_dmem_wdata_;
+  const Port* out_dmem_be_;
+  const Port* out_dmem_re_;
+  const Port* out_dmem_we_;
+  const Port* out_retire_;
+  const Port* out_retire_pc_;
+  const Port* out_rd_we_;
+  const Port* out_rd_addr_;
+  const Port* out_rd_wdata_;
+  const Port* out_halted_;
+
+  std::uint32_t read_mem_word(std::uint32_t byte_addr) const;
+};
+
+/// Runs the same program on the netlist and the ISS and compares the
+/// full architectural traces. Returns an empty string on success or a
+/// human-readable mismatch description.
+std::string cosim_against_iss(const Netlist& nl, const std::vector<std::uint32_t>& program,
+                              std::uint64_t max_cycles = 200000);
+
+}  // namespace pdat::cores

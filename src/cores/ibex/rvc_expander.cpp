@@ -1,0 +1,166 @@
+#include "cores/ibex/rvc_expander.h"
+
+#include "isa/rv32_encoding.h"
+#include "isa/rv32_isa.h"
+
+namespace pdat::cores {
+
+using synth::Builder;
+using synth::Bus;
+
+namespace {
+
+/// 32-bit word assembly helpers. Field widths are asserted by concat sizes;
+/// opcode/funct constants come from the 32-bit instruction table.
+struct Enc {
+  Builder& b;
+  Bus zero32;
+
+  Bus i_type(std::uint32_t base_match, const Bus& rd, const Bus& rs1, const Bus& imm12) {
+    // [31:20]=imm [19:15]=rs1 [14:12]=f3 [11:7]=rd [6:0]=op (f3/op in base)
+    Bus w = b.constant(base_match, 32);
+    for (int i = 0; i < 5; ++i) w[7 + i] = rd[static_cast<std::size_t>(i)];
+    for (int i = 0; i < 5; ++i) w[15 + i] = rs1[static_cast<std::size_t>(i)];
+    for (int i = 0; i < 12; ++i) w[20 + i] = imm12[static_cast<std::size_t>(i)];
+    return w;
+  }
+  Bus r_type(std::uint32_t base_match, const Bus& rd, const Bus& rs1, const Bus& rs2) {
+    Bus w = b.constant(base_match, 32);
+    for (int i = 0; i < 5; ++i) w[7 + i] = rd[static_cast<std::size_t>(i)];
+    for (int i = 0; i < 5; ++i) w[15 + i] = rs1[static_cast<std::size_t>(i)];
+    for (int i = 0; i < 5; ++i) w[20 + i] = rs2[static_cast<std::size_t>(i)];
+    return w;
+  }
+  Bus s_type(std::uint32_t base_match, const Bus& rs1, const Bus& rs2, const Bus& imm12) {
+    Bus w = b.constant(base_match, 32);
+    for (int i = 0; i < 5; ++i) w[7 + i] = imm12[static_cast<std::size_t>(i)];
+    for (int i = 0; i < 5; ++i) w[15 + i] = rs1[static_cast<std::size_t>(i)];
+    for (int i = 0; i < 5; ++i) w[20 + i] = rs2[static_cast<std::size_t>(i)];
+    for (int i = 5; i < 12; ++i) w[20 + i] = imm12[static_cast<std::size_t>(i)];
+    return w;
+  }
+  Bus b_type(std::uint32_t base_match, const Bus& rs1, const Bus& rs2, const Bus& imm13) {
+    Bus w = b.constant(base_match, 32);
+    w[7] = imm13[11];
+    for (int i = 1; i <= 4; ++i) w[7 + i] = imm13[static_cast<std::size_t>(i)];
+    for (int i = 0; i < 5; ++i) w[15 + i] = rs1[static_cast<std::size_t>(i)];
+    for (int i = 0; i < 5; ++i) w[20 + i] = rs2[static_cast<std::size_t>(i)];
+    for (int i = 5; i <= 10; ++i) w[20 + i] = imm13[static_cast<std::size_t>(i)];
+    w[31] = imm13[12];
+    return w;
+  }
+  Bus j_type(std::uint32_t base_match, const Bus& rd, const Bus& imm21) {
+    Bus w = b.constant(base_match, 32);
+    for (int i = 0; i < 5; ++i) w[7 + i] = rd[static_cast<std::size_t>(i)];
+    for (int i = 12; i <= 19; ++i) w[i] = imm21[static_cast<std::size_t>(i)];
+    w[20] = imm21[11];
+    for (int i = 1; i <= 10; ++i) w[20 + i] = imm21[static_cast<std::size_t>(i)];
+    w[31] = imm21[20];
+    return w;
+  }
+  Bus u_type(std::uint32_t base_match, const Bus& rd, const Bus& imm_hi20) {
+    Bus w = b.constant(base_match, 32);
+    for (int i = 0; i < 5; ++i) w[7 + i] = rd[static_cast<std::size_t>(i)];
+    for (int i = 0; i < 20; ++i) w[12 + i] = imm_hi20[static_cast<std::size_t>(i)];
+    return w;
+  }
+};
+
+}  // namespace
+
+RvcExpanderOut build_rvc_expander(Builder& b, const Bus& lo16) {
+  if (lo16.size() != 16) throw PdatError("rvc expander needs 16 bits");
+  const NetId c0 = b.bit(false);
+  const NetId c1 = b.bit(true);
+  Enc enc{b, b.constant(0, 32)};
+
+  // Field buses.
+  const Bus rd_full = synth::Builder::slice(lo16, 7, 5);
+  const Bus rs2_full = synth::Builder::slice(lo16, 2, 5);
+  const Bus rdp = {lo16[2], lo16[3], lo16[4], c1, c0};   // 8 + bits[4:2]
+  const Bus rs1p = {lo16[7], lo16[8], lo16[9], c1, c0};  // 8 + bits[9:7]
+  const Bus x0 = b.constant(0, 5);
+  const Bus x1 = b.constant(1, 5);
+  const Bus x2 = b.constant(2, 5);
+
+  const NetId sign = lo16[12];
+
+  // Immediates (see isa/rv32_encoding.cpp field scrambles).
+  const Bus imm_ciw = {c0,       c0,       lo16[6], lo16[5], lo16[11], lo16[12],
+                       lo16[7],  lo16[8],  lo16[9], lo16[10], c0,      c0};
+  const Bus imm_clw = {c0, c0, lo16[6], lo16[10], lo16[11], lo16[12], lo16[5],
+                       c0, c0, c0,      c0,       c0};
+  Bus imm_ci = {lo16[2], lo16[3], lo16[4], lo16[5], lo16[6], sign};
+  imm_ci = b.sext(imm_ci, 12);
+  Bus imm_16sp = {c0,      c0,      c0,      c0,      lo16[6],
+                  lo16[2], lo16[5], lo16[3], lo16[4], sign};
+  imm_16sp = b.sext(imm_16sp, 12);
+  // c.lui: U-type imm field (word bits 31:12): [16:12]=lo[6:2], [17]=sign, rest sext.
+  Bus imm_clui = {lo16[2], lo16[3], lo16[4], lo16[5], lo16[6], sign};
+  imm_clui = b.sext(imm_clui, 20);
+  Bus imm_cj = {lo16[3], lo16[4], lo16[5], lo16[11], lo16[2], lo16[7],
+                lo16[6], lo16[9], lo16[10], lo16[8], sign};
+  imm_cj.insert(imm_cj.begin(), c0);  // bit 0 = 0
+  imm_cj = b.sext(imm_cj, 21);
+  Bus imm_cb = {lo16[3], lo16[4], lo16[10], lo16[11], lo16[2], lo16[5], lo16[6], sign};
+  imm_cb.insert(imm_cb.begin(), c0);
+  imm_cb = b.sext(imm_cb, 13);
+  const Bus imm_lwsp = {c0, c0, lo16[4], lo16[5], lo16[6], lo16[12], lo16[2], lo16[3],
+                        c0, c0, c0, c0};
+  const Bus imm_swsp = {c0, c0, lo16[9], lo16[10], lo16[11], lo16[12], lo16[7], lo16[8],
+                        c0, c0, c0, c0};
+  const Bus shamt_imm = b.zext(Bus{lo16[2], lo16[3], lo16[4], lo16[5], lo16[6]}, 12);
+
+  const auto& tab = isa::rv32_instructions();
+  auto base = [&](const char* n) { return isa::rv32_instr(n).match; };
+
+  // Matcher nets (shared logic with the environment matcher builder).
+  const Bus lo32 = b.zext(lo16, 32);
+  std::vector<NetId> sel;
+  std::vector<Bus> words;
+  auto add = [&](const char* cname, const Bus& expansion) {
+    sel.push_back(isa::build_instr_matcher(b, lo32, isa::rv32_instr(cname), false));
+    words.push_back(expansion);
+  };
+
+  add("c.addi4spn", enc.i_type(base("addi"), rdp, x2, imm_ciw));
+  add("c.lw", enc.i_type(base("lw"), rdp, rs1p, imm_clw));
+  add("c.sw", enc.s_type(base("sw"), rs1p, rdp, imm_clw));
+  add("c.addi", enc.i_type(base("addi"), rd_full, rd_full, imm_ci));
+  add("c.jal", enc.j_type(base("jal"), x1, b.sext(imm_cj, 21)));
+  add("c.li", enc.i_type(base("addi"), rd_full, x0, imm_ci));
+  add("c.addi16sp", enc.i_type(base("addi"), x2, x2, imm_16sp));
+  add("c.lui", enc.u_type(base("lui"), rd_full, imm_clui));
+  // Shift/logic/arith on the compact register set: the destination field is
+  // bits [9:7] (rs1'), while bits [4:2] hold rs2'.
+  // The shift-immediate encodings carry funct7 inside the I-type imm field;
+  // srai needs bit 30 (imm[10]) set.
+  Bus shamt_imm_sra = shamt_imm;
+  shamt_imm_sra[10] = c1;
+  add("c.srli", enc.i_type(base("srli"), rs1p, rs1p, shamt_imm));
+  add("c.srai", enc.i_type(base("srai"), rs1p, rs1p, shamt_imm_sra));
+  add("c.andi", enc.i_type(base("andi"), rs1p, rs1p, imm_ci));
+  add("c.sub", enc.r_type(base("sub"), rs1p, rs1p, rdp));
+  add("c.xor", enc.r_type(base("xor"), rs1p, rs1p, rdp));
+  add("c.or", enc.r_type(base("or"), rs1p, rs1p, rdp));
+  add("c.and", enc.r_type(base("and"), rs1p, rs1p, rdp));
+  add("c.j", enc.j_type(base("jal"), x0, imm_cj));
+  add("c.beqz", enc.b_type(base("beq"), rs1p, x0, imm_cb));
+  add("c.bnez", enc.b_type(base("bne"), rs1p, x0, imm_cb));
+  add("c.slli", enc.i_type(base("slli"), rd_full, rd_full, shamt_imm));
+  add("c.lwsp", enc.i_type(base("lw"), rd_full, x2, imm_lwsp));
+  add("c.jr", enc.i_type(base("jalr"), x0, rd_full, b.constant(0, 12)));
+  add("c.mv", enc.r_type(base("add"), rd_full, x0, rs2_full));
+  add("c.ebreak", b.constant(isa::rv32_instr("ebreak").match, 32));
+  add("c.jalr", enc.i_type(base("jalr"), x1, rd_full, b.constant(0, 12)));
+  add("c.add", enc.r_type(base("add"), rd_full, rd_full, rs2_full));
+  add("c.swsp", enc.s_type(base("sw"), x2, rs2_full, imm_swsp));
+  (void)tab;
+
+  RvcExpanderOut out;
+  out.word32 = b.onehot_mux(sel, words);
+  out.illegal = b.not_(b.any(sel));
+  return out;
+}
+
+}  // namespace pdat::cores

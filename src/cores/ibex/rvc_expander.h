@@ -1,0 +1,18 @@
+// Gate-level RV32C instruction expander (the decompressor inside the
+// Ibex-like core). Maps a 16-bit compressed encoding to the equivalent
+// 32-bit instruction, exactly mirroring isa::rvc_expand (tests compare the
+// two exhaustively over sampled encodings).
+#pragma once
+
+#include "synth/builder.h"
+
+namespace pdat::cores {
+
+struct RvcExpanderOut {
+  synth::Bus word32;   // expanded instruction (valid when !illegal)
+  NetId illegal = kNoNet;
+};
+
+RvcExpanderOut build_rvc_expander(synth::Builder& b, const synth::Bus& lo16);
+
+}  // namespace pdat::cores

@@ -1,0 +1,664 @@
+#include "cores/ridecore/ridecore.h"
+
+#include "isa/rv32_encoding.h"
+
+namespace pdat::cores {
+
+using synth::Builder;
+using synth::Bus;
+
+namespace {
+
+Bus reversed(const Bus& a) { return Bus(a.rbegin(), a.rend()); }
+
+Bus barrel_right(Builder& b, const Bus& a, const Bus& amt, NetId fill) {
+  Bus cur = a;
+  for (std::size_t s = 0; s < amt.size(); ++s) {
+    const std::size_t k = std::size_t{1} << s;
+    Bus shifted(cur.size());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      shifted[i] = (i + k < cur.size()) ? cur[i + k] : fill;
+    }
+    cur = b.mux(amt[s], cur, shifted);
+  }
+  return cur;
+}
+
+/// Per-slot decode + execute signals (everything except the shared memory
+/// port and the shared multiplier, whose results are muxed in afterwards).
+struct Slot {
+  NetId legal = kNoNet;
+  NetId writes_rd = kNoNet;   // excludes x0
+  Bus rd;                      // 5
+  Bus rs1, rs2;                // 5
+  NetId is_load = kNoNet;
+  NetId is_store = kNoNet;
+  NetId is_mul = kNoNet;
+  NetId is_control = kNoNet;  // branch/jal/jalr
+  NetId redirect = kNoNet;    // control transfer taken
+  NetId is_cond_branch = kNoNet;
+  NetId taken = kNoNet;
+  Bus target;                  // 32 (valid when redirect)
+  NetId halting = kNoNet;      // ecall/ebreak/illegal
+  Bus result;                  // 32 (non-load, non-mul)
+  Bus mem_addr;                // 32
+  Bus funct3;                  // 3
+  Bus store_data_raw;          // rs2 value
+};
+
+Slot make_slot(Builder& b, const Bus& instr, const Bus& pc, const Bus& rs1_val,
+               const Bus& rs2_val) {
+  const NetId c0 = b.bit(false);
+  Slot s;
+  const Bus opcode = synth::Builder::slice(instr, 0, 7);
+  s.rd = synth::Builder::slice(instr, 7, 5);
+  const Bus f3 = synth::Builder::slice(instr, 12, 3);
+  s.funct3 = f3;
+  s.rs1 = synth::Builder::slice(instr, 15, 5);
+  s.rs2 = synth::Builder::slice(instr, 20, 5);
+  const Bus f7 = synth::Builder::slice(instr, 25, 7);
+
+  const NetId op_lui = b.eq_const(opcode, 0x37);
+  const NetId op_auipc = b.eq_const(opcode, 0x17);
+  const NetId op_jal = b.eq_const(opcode, 0x6f);
+  const NetId op_jalr = b.eq_const(opcode, 0x67);
+  const NetId op_branch = b.eq_const(opcode, 0x63);
+  const NetId op_load = b.eq_const(opcode, 0x03);
+  const NetId op_store = b.eq_const(opcode, 0x23);
+  const NetId op_opimm = b.eq_const(opcode, 0x13);
+  const NetId op_op = b.eq_const(opcode, 0x33);
+  const NetId op_miscmem = b.eq_const(opcode, 0x0f);
+
+  const std::vector<NetId> f3_oh = b.decode(f3);
+  const NetId f7_zero = b.eq_const(f7, 0x00);
+  const NetId f7_sub = b.eq_const(f7, 0x20);
+  const NetId f7_m = b.eq_const(f7, 0x01);
+
+  // Immediates.
+  const Bus imm_i = b.sext(synth::Builder::slice(instr, 20, 12), 32);
+  Bus imm_s = synth::Builder::slice(instr, 7, 5);
+  imm_s = b.sext(synth::Builder::concat(imm_s, synth::Builder::slice(instr, 25, 7)), 32);
+  Bus imm_b = {c0,        instr[8],  instr[9],  instr[10], instr[11], instr[25], instr[26],
+               instr[27], instr[28], instr[29], instr[30], instr[7],  instr[31]};
+  imm_b = b.sext(imm_b, 32);
+  Bus imm_u = b.constant(0, 12);
+  imm_u = synth::Builder::concat(imm_u, synth::Builder::slice(instr, 12, 20));
+  Bus imm_j = {c0};
+  for (int i = 21; i <= 30; ++i) imm_j.push_back(instr[static_cast<std::size_t>(i)]);
+  imm_j.push_back(instr[20]);
+  for (int i = 12; i <= 19; ++i) imm_j.push_back(instr[static_cast<std::size_t>(i)]);
+  imm_j.push_back(instr[31]);
+  imm_j = b.sext(imm_j, 32);
+
+  // Legality (RV32I + M multiply; no div, C, Zicsr, Zifencei).
+  const NetId load_legal = b.any(Bus{f3_oh[0], f3_oh[1], f3_oh[2], f3_oh[4], f3_oh[5]});
+  const NetId store_legal = b.any(Bus{f3_oh[0], f3_oh[1], f3_oh[2]});
+  const NetId branch_legal = b.not_(b.or_(f3_oh[2], f3_oh[3]));
+  const NetId shift_imm_legal =
+      b.or_(b.and_(f3_oh[1], f7_zero), b.and_(f3_oh[5], b.or_(f7_zero, f7_sub)));
+  const NetId opimm_legal = b.or_(b.not_(b.or_(f3_oh[1], f3_oh[5])), shift_imm_legal);
+  s.is_mul = b.and_(op_op, b.and_(f7_m, b.not_(f3[2])));
+  const NetId op_legal = b.any(
+      Bus{f7_zero, b.and_(f7_sub, b.or_(f3_oh[0], f3_oh[5])), s.is_mul});
+  const NetId is_ecall = b.eq_const(instr, 0x00000073);
+  const NetId is_ebreak = b.eq_const(instr, 0x00100073);
+  const NetId is_fence = b.and_(op_miscmem, f3_oh[0]);
+  s.legal = b.any(Bus{op_lui, op_auipc, op_jal, b.and_(op_jalr, f3_oh[0]),
+                      b.and_(op_branch, branch_legal), b.and_(op_load, load_legal),
+                      b.and_(op_store, store_legal), b.and_(op_opimm, opimm_legal),
+                      b.and_(op_op, op_legal), is_fence, is_ecall, is_ebreak});
+  s.halting = b.or_(b.not_(s.legal), b.or_(is_ecall, is_ebreak));
+
+  // ALU.
+  const NetId is_alu_imm = op_opimm;
+  const NetId is_alu_reg = b.and_(op_op, b.not_(s.is_mul));
+  const Bus alu_b = b.mux(is_alu_imm, rs2_val, imm_i);
+  const NetId sub_sel = b.any(
+      Bus{b.and_(is_alu_reg, b.and_(f3_oh[0], f7_sub)),
+          b.and_(b.or_(is_alu_imm, is_alu_reg), b.or_(f3_oh[2], f3_oh[3])), op_branch});
+  NetId cout = c0;
+  const Bus adder = b.add(rs1_val, b.mux(sub_sel, alu_b, b.not_(alu_b)), sub_sel, &cout);
+  const NetId eq_rr = b.is_zero(adder);
+  const NetId ltu_rr = b.not_(cout);
+  const NetId lts_rr = b.mux(b.xor_(rs1_val[31], alu_b[31]), ltu_rr, rs1_val[31]);
+
+  const Bus shamt = synth::Builder::slice(alu_b, 0, 5);
+  const NetId is_sll = f3_oh[1];
+  const Bus shift_in = b.mux(is_sll, rs1_val, reversed(rs1_val));
+  const Bus sh_raw =
+      barrel_right(b, shift_in, shamt, b.and_(b.and_(f3_oh[5], instr[30]), rs1_val[31]));
+  const Bus shift_out = b.mux(is_sll, sh_raw, reversed(sh_raw));
+
+  const Bus alu_by_f3 = b.mux_tree(
+      f3, {adder, shift_out, b.zext(Bus{lts_rr}, 32), b.zext(Bus{ltu_rr}, 32),
+           b.xor_(rs1_val, alu_b), shift_out, b.or_(rs1_val, alu_b), b.and_(rs1_val, alu_b)});
+
+  // Control.
+  const Bus seq = b.add_const(pc, 4);
+  const NetId br_taken = b.mux_tree(
+      f3, {Bus{eq_rr}, Bus{b.not_(eq_rr)}, Bus{c0}, Bus{c0}, Bus{lts_rr}, Bus{b.not_(lts_rr)},
+           Bus{ltu_rr}, Bus{b.not_(ltu_rr)}})[0];
+  s.is_cond_branch = op_branch;
+  s.taken = b.and_(op_branch, br_taken);
+  s.is_control = b.any(Bus{op_branch, op_jal, op_jalr});
+  s.redirect = b.any(Bus{s.taken, op_jal, op_jalr});
+  Bus jalr_t = b.add(rs1_val, imm_i);
+  jalr_t[0] = c0;
+  Bus target = b.add(pc, b.mux(op_jal, imm_b, imm_j));
+  target = b.mux(op_jalr, target, jalr_t);
+  s.target = target;
+
+  // Memory address.
+  s.is_load = b.and_(op_load, s.legal);
+  s.is_store = b.and_(op_store, s.legal);
+  s.mem_addr = b.add(rs1_val, b.mux(op_store, imm_i, imm_s));
+  s.store_data_raw = rs2_val;
+
+  // Writeback (loads and muls patched in by the shared units).
+  const NetId wb_alu = b.or_(is_alu_imm, is_alu_reg);
+  s.result = b.onehot_mux(
+      {op_lui, op_auipc, b.or_(op_jal, op_jalr), wb_alu},
+      {imm_u, b.add(pc, imm_u), seq, alu_by_f3});
+  s.writes_rd = b.and_(
+      b.any(Bus{op_lui, op_auipc, op_jal, op_jalr, op_load, wb_alu, s.is_mul}),
+      b.not_(b.is_zero(s.rd)));
+  return s;
+}
+
+}  // namespace
+
+void RideCore::refresh_handles() {
+  instr_q0.resize(32);
+  instr_q1.resize(32);
+  for (int i = 0; i < 32; ++i) {
+    instr_q0[static_cast<std::size_t>(i)] =
+        netlist.find_net("pdat_ride_i0[" + std::to_string(i) + "]");
+    instr_q1[static_cast<std::size_t>(i)] =
+        netlist.find_net("pdat_ride_i1[" + std::to_string(i) + "]");
+    if (instr_q0[static_cast<std::size_t>(i)] == kNoNet ||
+        instr_q1[static_cast<std::size_t>(i)] == kNoNet) {
+      throw PdatError("RideCore::refresh_handles: fetch register net lost");
+    }
+  }
+}
+
+RideCore build_ridecore(const RideConfig& cfg) {
+  RideCore core;
+  Builder b(core.netlist);
+  const NetId c0 = b.bit(false);
+  const NetId c1 = b.bit(true);
+  const int kPhys = cfg.phys_regs;
+  const int kRob = cfg.rob_entries;
+  const int kPht = 1 << cfg.pht_bits;
+
+  const Bus imem_rdata0 = b.input("imem_rdata0", 32);
+  const Bus imem_rdata1 = b.input("imem_rdata1", 32);
+  const Bus dmem_rdata = b.input("dmem_rdata", 32);
+
+  // ---------------------------------------------------------------- state --
+  auto fetch_pc = b.reg_decl(32, 0);
+  auto f_i0 = b.reg_decl(32, cfg.instr_reset_value);
+  auto f_i1 = b.reg_decl(32, cfg.instr_reset_value);
+  auto f_pc = b.reg_decl(32, 0);
+  auto f_pred = b.reg_decl(32, 0);
+  auto f_valid = b.reg_decl(1, 0);
+  auto sub = b.reg_decl(1, 0);  // 1: only slot 1 of the pair remains
+  auto halted = b.reg_decl(1, 0);
+
+  // Physical register file.
+  std::vector<Builder::RegHandle> prf(static_cast<std::size_t>(kPhys));
+  std::vector<Bus> prf_q(static_cast<std::size_t>(kPhys));
+  for (int i = 0; i < kPhys; ++i) {
+    prf[static_cast<std::size_t>(i)] = b.reg_decl(32, 0);
+    prf_q[static_cast<std::size_t>(i)] = prf[static_cast<std::size_t>(i)].q;
+  }
+  // Rename table: arch reg -> phys tag (7 bits). RAT[i] resets to i.
+  std::vector<Builder::RegHandle> rat(32);
+  std::vector<Bus> rat_q(32);
+  for (int i = 0; i < 32; ++i) {
+    rat[static_cast<std::size_t>(i)] = b.reg_decl(7, static_cast<std::uint64_t>(i));
+    rat_q[static_cast<std::size_t>(i)] = rat[static_cast<std::size_t>(i)].q;
+  }
+  // Free list FIFO: phys 32..95 initially free.
+  const int kFree = kPhys;  // capacity
+  std::vector<Builder::RegHandle> flist(static_cast<std::size_t>(kFree));
+  std::vector<Bus> flist_q(static_cast<std::size_t>(kFree));
+  for (int i = 0; i < kFree; ++i) {
+    flist[static_cast<std::size_t>(i)] =
+        b.reg_decl(7, static_cast<std::uint64_t>(32 + (i % (kPhys - 32))));
+    flist_q[static_cast<std::size_t>(i)] = flist[static_cast<std::size_t>(i)].q;
+  }
+  auto fl_head = b.reg_decl(7, 0);
+  auto fl_tail = b.reg_decl(7, static_cast<std::uint64_t>(kPhys - 32));
+  auto fl_count = b.reg_decl(8, static_cast<std::uint64_t>(kPhys - 32));
+  // ROB: arch_rd(5) | old_phys(7) | pc(30).
+  const int kRobW = 5 + 7 + 30;
+  std::vector<Builder::RegHandle> rob(static_cast<std::size_t>(kRob));
+  std::vector<Bus> rob_q(static_cast<std::size_t>(kRob));
+  for (int i = 0; i < kRob; ++i) {
+    rob[static_cast<std::size_t>(i)] = b.reg_decl(static_cast<std::size_t>(kRobW), 0);
+    rob_q[static_cast<std::size_t>(i)] = rob[static_cast<std::size_t>(i)].q;
+  }
+  auto rob_head = b.reg_decl(6, 0);
+  auto rob_tail = b.reg_decl(6, 0);
+  auto rob_count = b.reg_decl(7, 0);
+  // Branch predictor.
+  std::vector<Builder::RegHandle> pht(static_cast<std::size_t>(kPht));
+  std::vector<Bus> pht_q(static_cast<std::size_t>(kPht));
+  for (int i = 0; i < kPht; ++i) {
+    pht[static_cast<std::size_t>(i)] = b.reg_decl(2, 1);
+    pht_q[static_cast<std::size_t>(i)] = pht[static_cast<std::size_t>(i)].q;
+  }
+  auto ghr = b.reg_decl(static_cast<std::size_t>(cfg.pht_bits), 0);
+  std::vector<Builder::RegHandle> btb_valid(static_cast<std::size_t>(cfg.btb_entries));
+  std::vector<Builder::RegHandle> btb_tag(static_cast<std::size_t>(cfg.btb_entries));
+  std::vector<Builder::RegHandle> btb_tgt(static_cast<std::size_t>(cfg.btb_entries));
+  for (int i = 0; i < cfg.btb_entries; ++i) {
+    btb_valid[static_cast<std::size_t>(i)] = b.reg_decl(1, 0);
+    btb_tag[static_cast<std::size_t>(i)] = b.reg_decl(27, 0);
+    btb_tgt[static_cast<std::size_t>(i)] = b.reg_decl(30, 0);
+  }
+
+  core.instr_q0 = f_i0.q;
+  core.instr_q1 = f_i1.q;
+  for (int i = 0; i < 32; ++i) {
+    core.netlist.name_net(f_i0.q[static_cast<std::size_t>(i)],
+                          "pdat_ride_i0[" + std::to_string(i) + "]");
+    core.netlist.name_net(f_i1.q[static_cast<std::size_t>(i)],
+                          "pdat_ride_i1[" + std::to_string(i) + "]");
+  }
+
+  const NetId run = b.and_(f_valid.q[0], b.not_(halted.q[0]));
+
+  // --------------------------------------------------------------- rename --
+  const Bus pc0 = f_pc.q;
+  const Bus pc1 = b.add_const(f_pc.q, 4);
+
+  // Pre-decode register fields for RAT lookups.
+  auto rat_read = [&](const Bus& arch) { return b.mux_tree(b.zext(arch, 5), rat_q); };
+  // (mux_tree needs 32 options for 5 bits: rat_q has exactly 32.)
+
+  const Bus i0 = f_i0.q;
+  const Bus i1 = f_i1.q;
+  const Bus rs1a0 = synth::Builder::slice(i0, 15, 5);
+  const Bus rs2a0 = synth::Builder::slice(i0, 20, 5);
+  const Bus rs1a1 = synth::Builder::slice(i1, 15, 5);
+  const Bus rs2a1 = synth::Builder::slice(i1, 20, 5);
+
+  auto prf_read = [&](const Bus& tag) { return b.mux_tree(tag, prf_q); };
+  // prf_q has kPhys (=96) entries; pad to 128 for the 7-bit mux tree.
+  std::vector<Bus> prf_pad = prf_q;
+  while (prf_pad.size() < 128) prf_pad.push_back(b.constant(0, 32));
+  auto prf_read7 = [&](const Bus& tag) { return b.mux_tree(tag, prf_pad); };
+  (void)prf_read;
+
+  const Bus v_rs1_0 = prf_read7(rat_read(rs1a0));
+  const Bus v_rs2_0 = prf_read7(rat_read(rs2a0));
+  Bus v_rs1_1 = prf_read7(rat_read(rs1a1));
+  Bus v_rs2_1 = prf_read7(rat_read(rs2a1));
+
+  // --------------------------------------------------------------- execute --
+  const Slot s0 = make_slot(b, i0, pc0, v_rs1_0, v_rs2_0);
+  // Slot 1 bypass: if it reads slot 0's destination, forward slot 0's final
+  // result (including load/mul data, patched below).
+  // First build with raw values; the bypass muxes are applied to the values
+  // *before* slot construction, using slot 0's decoded rd.
+  const Bus rd0 = synth::Builder::slice(i0, 7, 5);
+  // Intra-pair forwarding only applies while slot 0 is live this cycle; in
+  // the split-replay cycle (sub == 1) slot 0 has already written the PRF.
+  const NetId pair_live = b.not_(sub.q[0]);
+  const NetId byp1_rs1 = b.and_(pair_live, b.and_(s0.writes_rd, b.eq(rs1a1, rd0)));
+  const NetId byp1_rs2 = b.and_(pair_live, b.and_(s0.writes_rd, b.eq(rs2a1, rd0)));
+
+  // Shared unit results for slot 0 are needed for the bypass value; build
+  // the shared units against slot 0 first, then construct slot 1.
+  // -- shared memory port (slot selection resolved after slot1 decode; the
+  //    address/data muxes are built afterwards, so here we only prepare
+  //    slot 0's contribution).
+  // To keep the elaboration single-pass, the bypass forwards slot 0's
+  // `result0_full`, defined below via declare-then-connect through a
+  // feedback-free trick: loads/muls in slot 0 block dual issue when slot 1
+  // depends on them? Simpler and still realistic: the bypass forwards only
+  // slot 0's non-load non-mul result; a dependent slot 1 behind a load/mul
+  // splits the pair (computed below as dep_split).
+  Bus byp_val = s0.result;
+  v_rs1_1 = b.mux(byp1_rs1, v_rs1_1, byp_val);
+  v_rs2_1 = b.mux(byp1_rs2, v_rs2_1, byp_val);
+  const Slot s1 = make_slot(b, i1, pc1, v_rs1_1, v_rs2_1);
+
+  const NetId dep1 = b.or_(byp1_rs1, byp1_rs2);
+  const NetId s0_long = b.or_(s0.is_load, s0.is_mul);
+  const NetId dep_split = b.and_(dep1, b.and_(s0.writes_rd, s0_long));
+
+  // ------------------------------------------------------------ issue logic --
+  const NetId act0 = b.and_(run, b.not_(sub.q[0]));
+  const NetId act1_base = b.and_(run, c1);
+
+  // Structural hazards.
+  const NetId both_mem = b.and_(b.or_(s0.is_load, s0.is_store), b.or_(s1.is_load, s1.is_store));
+  const NetId both_mul = b.and_(s0.is_mul, s1.is_mul);
+  const NetId resources_low = b.not_(fl_count.q[2]);  // conservative: < 4 free
+  const NetId fl_low = b.and_(b.not_(b.any(synth::Builder::slice(fl_count.q, 2, 6))), c1);
+  const NetId rob_high = rob_count.q[6];  // >= 64
+  const NetId global_stall = b.or_(fl_low, rob_high);
+  (void)resources_low;
+
+  const NetId issue0 = b.and_(act0, b.not_(global_stall));
+  const NetId split = b.any(Bus{both_mem, both_mul, dep_split});
+  const NetId issue1_with0 =
+      b.and_(issue0, b.and_(b.not_(s0.redirect),
+                            b.and_(b.not_(s0.halting), b.not_(split))));
+  const NetId issue1_alone = b.and_(b.and_(act1_base, sub.q[0]), b.not_(global_stall));
+  const NetId issue1 = b.or_(issue1_with0, issue1_alone);
+  const NetId enter_sub = b.and_(issue0, b.and_(b.not_(s0.redirect),
+                                                b.and_(b.not_(s0.halting), split)));
+
+  const NetId halting_now =
+      b.or_(b.and_(issue0, s0.halting), b.and_(issue1, s1.halting));
+
+  // Effective per-slot commit (halting instructions retire but write nothing).
+  const NetId commit0 = b.and_(issue0, b.not_(s0.halting));
+  const NetId commit1 = b.and_(issue1, b.not_(s1.halting));
+  const NetId w0 = b.and_(commit0, s0.writes_rd);
+  const NetId w1 = b.and_(commit1, s1.writes_rd);
+
+  // ------------------------------------------------------------ shared mem --
+  const NetId mem1 = b.and_(commit1, b.or_(s1.is_load, s1.is_store));
+  const Bus mem_addr = b.mux(mem1, s0.mem_addr, s1.mem_addr);
+  const Bus mem_f3 = b.mux(mem1, s0.funct3, s1.funct3);
+  const Bus mem_store_raw = b.mux(mem1, s0.store_data_raw, s1.store_data_raw);
+  const NetId do_load =
+      b.or_(b.and_(commit0, s0.is_load), b.and_(commit1, s1.is_load));
+  const NetId do_store =
+      b.or_(b.and_(commit0, s0.is_store), b.and_(commit1, s1.is_store));
+
+  const Bus off = synth::Builder::slice(mem_addr, 0, 2);
+  const Bus mbyte = b.mux_tree(off, {synth::Builder::slice(dmem_rdata, 0, 8),
+                                     synth::Builder::slice(dmem_rdata, 8, 8),
+                                     synth::Builder::slice(dmem_rdata, 16, 8),
+                                     synth::Builder::slice(dmem_rdata, 24, 8)});
+  const Bus mhalf = b.mux(mem_addr[1], synth::Builder::slice(dmem_rdata, 0, 16),
+                          synth::Builder::slice(dmem_rdata, 16, 16));
+  const NetId lunsigned = mem_f3[2];
+  Bus lb = mbyte;
+  for (int i = 8; i < 32; ++i) lb.push_back(b.and_(mbyte[7], b.not_(lunsigned)));
+  Bus lh = mhalf;
+  for (int i = 16; i < 32; ++i) lh.push_back(b.and_(mhalf[15], b.not_(lunsigned)));
+  const Bus load_data =
+      b.mux_tree(synth::Builder::slice(mem_f3, 0, 2), {lb, lh, dmem_rdata, dmem_rdata});
+
+  Bus sh_data = synth::Builder::concat(synth::Builder::slice(mem_store_raw, 0, 16),
+                                       synth::Builder::slice(mem_store_raw, 0, 16));
+  Bus sb_data = synth::Builder::slice(mem_store_raw, 0, 8);
+  sb_data = synth::Builder::concat(sb_data, sb_data);
+  sb_data = synth::Builder::concat(sb_data, sb_data);
+  const Bus store_data = b.mux_tree(synth::Builder::slice(mem_f3, 0, 2),
+                                    {sb_data, sh_data, mem_store_raw, mem_store_raw});
+  const std::vector<NetId> off_oh = b.decode(off);
+  const Bus be_b = {off_oh[0], off_oh[1], off_oh[2], off_oh[3]};
+  const Bus be_h = {b.not_(mem_addr[1]), b.not_(mem_addr[1]), mem_addr[1], mem_addr[1]};
+  const Bus be = b.mux_tree(synth::Builder::slice(mem_f3, 0, 2),
+                            {be_b, be_h, b.constant(0xf, 4), b.constant(0xf, 4)});
+
+  // ------------------------------------------------------------ shared mul --
+  const NetId mul1 = b.and_(commit1, s1.is_mul);
+  const Bus mul_a = b.mux(mul1, v_rs1_0, v_rs1_1);
+  const Bus mul_b_in = b.mux(mul1, v_rs2_0, v_rs2_1);
+  const Bus mul_f3 = b.mux(mul1, s0.funct3, s1.funct3);
+  // Unsigned 64-bit array product with sign corrections (as in the Ibex
+  // multiplier, but fully combinational — RIDECORE has pipelined array
+  // multipliers; a flat array keeps the same gate structure).
+  const Bus prod = b.mul(mul_a, mul_b_in);
+  const Bus prod_hi = synth::Builder::slice(prod, 32, 32);
+  const Bus prod_lo = synth::Builder::slice(prod, 0, 32);
+  const NetId sa = b.and_(mul_a[31], b.or_(b.eq_const(mul_f3, 1), b.eq_const(mul_f3, 2)));
+  const NetId sb = b.and_(mul_b_in[31], b.eq_const(mul_f3, 1));
+  const Bus corr1 = b.sub(prod_hi, b.and_(mul_b_in, sa));
+  const Bus hi_fixed = b.sub(corr1, b.and_(mul_a, sb));
+  const Bus mul_result = b.mux(b.eq_const(mul_f3, 0), hi_fixed, prod_lo);
+
+  // Final per-slot results.
+  Bus res0 = s0.result;
+  res0 = b.mux(s0.is_load, res0, load_data);
+  res0 = b.mux(s0.is_mul, res0, mul_result);
+  Bus res1 = s1.result;
+  res1 = b.mux(s1.is_load, res1, load_data);
+  res1 = b.mux(s1.is_mul, res1, mul_result);
+
+  // ----------------------------------------------------------- allocation --
+  // Pop up to two tags from the free list (pad the 96 entries to the
+  // 128-option tree a 7-bit pointer selects over).
+  std::vector<Bus> flist_pad = flist_q;
+  while (flist_pad.size() < 128) flist_pad.push_back(b.constant(0, 7));
+  const Bus p_new0 = b.mux_tree(fl_head.q, flist_pad);
+  Bus fl_head1(7);
+  {
+    const NetId wrap = b.eq_const(fl_head.q, static_cast<std::uint64_t>(kFree - 1));
+    fl_head1 = b.mux(wrap, b.add_const(fl_head.q, 1), b.constant(0, 7));
+  }
+  const Bus p_new1 = b.mux_tree(fl_head1, flist_pad);
+  const Bus alloc0_tag = p_new0;
+  const Bus alloc1_tag = b.mux(w0, p_new0, p_new1);
+
+  // Old mappings for the ROB.
+  const Bus old0 = rat_read(rd0);
+  const Bus rd1 = s1.rd;
+  Bus old1 = rat_read(rd1);
+  old1 = b.mux(b.and_(w0, b.eq(rd1, rd0)), old1, alloc0_tag);
+
+  // RAT updates.
+  for (int i = 1; i < 32; ++i) {
+    const NetId sel0 = b.and_(w0, b.eq_const(rd0, static_cast<std::uint64_t>(i)));
+    const NetId sel1 = b.and_(w1, b.eq_const(rd1, static_cast<std::uint64_t>(i)));
+    Bus d = b.mux(sel0, rat_q[static_cast<std::size_t>(i)], alloc0_tag);
+    d = b.mux(sel1, d, alloc1_tag);
+    b.connect_en(rat[static_cast<std::size_t>(i)], b.or_(sel0, sel1), d);
+  }
+  b.connect(rat[0], rat_q[0]);  // x0 mapping is fixed
+
+  // PRF writes.
+  for (int i = 0; i < kPhys; ++i) {
+    const NetId sel0 = b.and_(w0, b.eq_const(alloc0_tag, static_cast<std::uint64_t>(i)));
+    const NetId sel1 = b.and_(w1, b.eq_const(alloc1_tag, static_cast<std::uint64_t>(i)));
+    const Bus d = b.mux(sel1, res0, res1);
+    b.connect_en(prf[static_cast<std::size_t>(i)], b.or_(sel0, sel1), d);
+  }
+
+  // ----------------------------------------------------------------- ROB --
+  // Push committed slots; retire up to two old entries, freeing old tags.
+  const Bus rob_e0 = synth::Builder::concat(
+      synth::Builder::concat(b.zext(rd0, 5), old0), synth::Builder::slice(pc0, 2, 30));
+  const Bus rob_e1 = synth::Builder::concat(
+      synth::Builder::concat(b.zext(rd1, 5), old1), synth::Builder::slice(pc1, 2, 30));
+  const NetId push0 = w0;
+  const NetId push1 = w1;
+  const Bus rob_tail1 = b.add_const(rob_tail.q, 1);
+  for (int i = 0; i < kRob; ++i) {
+    const NetId at_t0 = b.eq_const(rob_tail.q, static_cast<std::uint64_t>(i));
+    const NetId at_t1 = b.eq_const(rob_tail1, static_cast<std::uint64_t>(i));
+    const NetId we0 = b.and_(push0, at_t0);
+    const NetId we1 = b.and_(push1, b.mux(push0, at_t0, at_t1));
+    Bus d = b.mux(we1, rob_e0, rob_e1);
+    b.connect_en(rob[static_cast<std::size_t>(i)], b.or_(we0, we1), d);
+  }
+  // Retire: oldest entries (always complete one cycle after allocation).
+  const NetId have1 = b.not_(b.is_zero(rob_count.q));
+  const NetId have2 = b.any(synth::Builder::slice(rob_count.q, 1, 6));
+  const NetId ret0 = have1;
+  const NetId ret1 = have2;
+  const Bus head_e0 = b.mux_tree(rob_head.q, rob_q);
+  const Bus head_e1 = b.mux_tree(b.add_const(rob_head.q, 1), rob_q);
+  const Bus free_tag0 = synth::Builder::slice(head_e0, 5, 7);
+  const Bus free_tag1 = synth::Builder::slice(head_e1, 5, 7);
+  // Don't recycle the fixed x0 mapping (phys 0) — it is never allocated.
+  const NetId free0_ok = b.and_(ret0, b.not_(b.is_zero(free_tag0)));
+  const NetId free1_ok = b.and_(ret1, b.not_(b.is_zero(free_tag1)));
+
+  // Free-list pushes.
+  const Bus fl_tail1 = [&] {
+    const NetId wrap = b.eq_const(fl_tail.q, static_cast<std::uint64_t>(kFree - 1));
+    return b.mux(wrap, b.add_const(fl_tail.q, 1), b.constant(0, 7));
+  }();
+  for (int i = 0; i < kFree; ++i) {
+    const NetId at_t0 = b.eq_const(fl_tail.q, static_cast<std::uint64_t>(i));
+    const NetId at_t1 = b.eq_const(fl_tail1, static_cast<std::uint64_t>(i));
+    const NetId we0 = b.and_(free0_ok, at_t0);
+    const NetId we1 = b.and_(free1_ok, b.mux(free0_ok, at_t0, at_t1));
+    Bus d = b.mux(we1, free_tag0, free_tag1);
+    b.connect_en(flist[static_cast<std::size_t>(i)], b.or_(we0, we1), d);
+  }
+
+  // Pointer/count updates (mod-96 for the free list, power-of-two ROB).
+  auto inc_mod = [&](const Bus& ptr, NetId step1, NetId step2, int mod) {
+    // ptr + 0/1/2 with wraparound at `mod`.
+    Bus p1 = b.add_const(ptr, 1);
+    p1 = b.mux(b.eq_const(ptr, static_cast<std::uint64_t>(mod - 1)), p1, b.constant(0, ptr.size()));
+    Bus p2 = b.add_const(p1, 1);
+    p2 = b.mux(b.eq_const(p1, static_cast<std::uint64_t>(mod - 1)), p2, b.constant(0, ptr.size()));
+    Bus out = ptr;
+    out = b.mux(step1, out, p1);
+    out = b.mux(step2, out, p2);
+    return out;
+  };
+  const NetId pop2 = b.and_(w0, w1);
+  const NetId pop1 = b.xor_(w0, w1);
+  b.connect(fl_head, inc_mod(fl_head.q, pop1, pop2, kFree));
+  const NetId fpush2 = b.and_(free0_ok, free1_ok);
+  const NetId fpush1 = b.xor_(free0_ok, free1_ok);
+  b.connect(fl_tail, inc_mod(fl_tail.q, fpush1, fpush2, kFree));
+  {
+    Bus delta_in = b.constant(0, 8);
+    delta_in[0] = fpush1;
+    delta_in[1] = fpush2;
+    Bus delta_out = b.constant(0, 8);
+    delta_out[0] = pop1;
+    delta_out[1] = pop2;
+    b.connect(fl_count, b.sub(b.add(fl_count.q, delta_in), delta_out));
+  }
+  const NetId rpush1 = b.xor_(push0, push1);
+  const NetId rpush2 = b.and_(push0, push1);
+  const NetId rpop1 = b.xor_(ret0, ret1);
+  const NetId rpop2 = b.and_(ret0, ret1);
+  b.connect(rob_tail, inc_mod(rob_tail.q, rpush1, rpush2, kRob));
+  b.connect(rob_head, inc_mod(rob_head.q, rpop1, rpop2, kRob));
+  {
+    Bus din = b.constant(0, 7);
+    din[0] = rpush1;
+    din[1] = rpush2;
+    Bus dout = b.constant(0, 7);
+    dout[0] = rpop1;
+    dout[1] = rpop2;
+    b.connect(rob_count, b.sub(b.add(rob_count.q, din), dout));
+  }
+
+  // ------------------------------------------------------- branch predictor --
+  // Prediction for the pc being fetched now.
+  const Bus fp = fetch_pc.q;
+  Bus pht_idx = synth::Builder::slice(fp, 2, static_cast<std::size_t>(cfg.pht_bits));
+  pht_idx = b.xor_(pht_idx, ghr.q);
+  const Bus ctr = b.mux_tree(pht_idx, pht_q);
+  const NetId pred_taken = ctr[1];
+  // Direct-mapped BTB on pc bits.
+  int btb_bits = 0;
+  while ((1 << btb_bits) < cfg.btb_entries) ++btb_bits;
+  const Bus btb_idx = synth::Builder::slice(fp, 2, static_cast<std::size_t>(btb_bits));
+  std::vector<Bus> tags, tgts, vals;
+  for (int i = 0; i < cfg.btb_entries; ++i) {
+    tags.push_back(btb_tag[static_cast<std::size_t>(i)].q);
+    tgts.push_back(btb_tgt[static_cast<std::size_t>(i)].q);
+    vals.push_back(btb_valid[static_cast<std::size_t>(i)].q);
+  }
+  const Bus btb_rtag = b.mux_tree(btb_idx, tags);
+  const Bus btb_rtgt = b.mux_tree(btb_idx, tgts);
+  const NetId btb_rvalid = b.mux_tree(btb_idx, vals)[0];
+  const NetId btb_hit =
+      b.and_(btb_rvalid, b.eq(btb_rtag, synth::Builder::slice(fp, 5, 27)));
+  Bus pred_target = synth::Builder::concat(Bus{c0, c0}, btb_rtgt);
+  const Bus seq8 = b.add_const(fp, 8);
+  const Bus predicted_next = b.mux(b.and_(btb_hit, pred_taken), seq8, pred_target);
+
+  // Updates from the executed control instruction (at most one per cycle).
+  const NetId ctl0 = b.and_(commit0, s0.is_control);
+  const NetId ctl1 = b.and_(commit1, s1.is_control);
+  const NetId ctl_any = b.or_(ctl0, ctl1);
+  const Bus ctl_pc = b.mux(ctl0, pc1, pc0);
+  const NetId ctl_cond = b.mux(ctl0, s1.is_cond_branch, s0.is_cond_branch);
+  const NetId ctl_taken = b.mux(ctl0, s1.redirect, s0.redirect);
+  const Bus ctl_tgt = b.mux(ctl0, s1.target, s0.target);
+  Bus upd_idx = synth::Builder::slice(ctl_pc, 2, static_cast<std::size_t>(cfg.pht_bits));
+  upd_idx = b.xor_(upd_idx, ghr.q);
+  const NetId cond_upd = b.and_(ctl_any, ctl_cond);
+  for (int i = 0; i < kPht; ++i) {
+    const NetId sel = b.and_(cond_upd, b.eq_const(upd_idx, static_cast<std::uint64_t>(i)));
+    const Bus c = pht_q[static_cast<std::size_t>(i)];
+    // Saturating 2-bit counter.
+    const Bus up = b.mux(b.and_(c[1], c[0]), b.add_const(c, 1), c);
+    const Bus dn = b.mux(b.nor_(c[1], c[0]), b.sub(c, b.constant(1, 2)), c);
+    b.connect_en(pht[static_cast<std::size_t>(i)], sel, b.mux(ctl_taken, dn, up));
+  }
+  {
+    Bus gd(ghr.q.size());
+    for (std::size_t i = 0; i + 1 < gd.size(); ++i) gd[i + 1] = ghr.q[i];
+    gd[0] = ctl_taken;
+    b.connect_en(ghr, cond_upd, gd);
+  }
+  const Bus upd_btb_idx = synth::Builder::slice(ctl_pc, 2, static_cast<std::size_t>(btb_bits));
+  const NetId btb_wr = b.and_(ctl_any, ctl_taken);
+  for (int i = 0; i < cfg.btb_entries; ++i) {
+    const NetId sel = b.and_(btb_wr, b.eq_const(upd_btb_idx, static_cast<std::uint64_t>(i)));
+    b.connect_en(btb_valid[static_cast<std::size_t>(i)], sel, Bus{c1});
+    b.connect_en(btb_tag[static_cast<std::size_t>(i)], sel,
+                 synth::Builder::slice(ctl_pc, 5, 27));
+    b.connect_en(btb_tgt[static_cast<std::size_t>(i)], sel,
+                 synth::Builder::slice(ctl_tgt, 2, 30));
+  }
+
+  // ------------------------------------------------------------- next pc ----
+  Bus true_next = b.add_const(f_pc.q, 8);
+  true_next = b.mux(b.and_(commit1, s1.redirect), true_next, s1.target);
+  true_next = b.mux(b.and_(commit0, s0.redirect), true_next, s0.target);
+
+  const NetId pair_done =
+      b.or_(b.not_(run), b.or_(b.and_(issue0, b.not_(enter_sub)), issue1_alone));
+  const NetId done_commit = b.and_(run, pair_done);
+  const NetId mispredict = b.and_(done_commit, b.ne(true_next, f_pred.q));
+
+  // -------------------------------------------------------------- fetch -----
+  const NetId advance = b.and_(pair_done, b.not_(b.or_(halted.q[0], halting_now)));
+  const NetId squash = b.and_(advance, mispredict);
+  // fetch_pc: follow prediction; on mispredict jump to the true target.
+  Bus fp_next = predicted_next;
+  fp_next = b.mux(squash, fp_next, true_next);
+  b.connect(fetch_pc, b.mux(advance, fetch_pc.q, fp_next));
+  b.connect(f_i0, b.mux(advance, f_i0.q, imem_rdata0));
+  b.connect(f_i1, b.mux(advance, f_i1.q, imem_rdata1));
+  b.connect(f_pc, b.mux(advance, f_pc.q, fetch_pc.q));
+  b.connect(f_pred, b.mux(advance, f_pred.q, fp_next));
+  b.connect(f_valid, Bus{b.mux(advance, f_valid.q[0], b.not_(squash))});
+  b.connect(sub, Bus{b.mux(advance, b.mux(enter_sub, sub.q[0], c1), c0)});
+  b.connect(halted, Bus{b.or_(halted.q[0], halting_now)});
+
+  // --------------------------------------------------------------- ports ----
+  b.output("imem_addr", fetch_pc.q);
+  b.output("dmem_addr", mem_addr);
+  b.output("dmem_wdata", store_data);
+  b.output("dmem_be", be);
+  b.output("dmem_re", {do_load});
+  b.output("dmem_we", {do_store});
+  b.output("mem_slot1", {mem1});
+  b.output("retire0_valid", {commit0});
+  b.output("retire0_we", {w0});
+  b.output("retire0_rd", rd0);
+  b.output("retire0_data", res0);
+  b.output("retire0_pc", pc0);
+  b.output("retire1_valid", {commit1});
+  b.output("retire1_we", {w1});
+  b.output("retire1_rd", rd1);
+  b.output("retire1_data", res1);
+  b.output("retire1_pc", pc1);
+  b.output("rob_retire_pc", synth::Builder::slice(head_e0, 12, 30));
+  b.output("halted", {halted.q[0]});
+  return core;
+}
+
+}  // namespace pdat::cores

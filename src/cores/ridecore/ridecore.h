@@ -1,0 +1,45 @@
+// RIDECORE-like core (paper Table II row 2): 2-way superscalar RV32IM
+// (multiply only, no divide — like RIDECORE), with the out-of-order support
+// structures that dominate its area:
+//   * 96-entry physical register file with a 32x7 rename table (RAT),
+//     free-list FIFO, and 4 read / 2 write ports;
+//   * 64-entry reorder buffer (an in-order retirement FIFO here — see
+//     DESIGN.md for the substitution note);
+//   * gshare branch predictor (256x2-bit PHT, 8-bit GHR) with an 8-entry
+//     BTB steering fetch; mispredictions cost a fetch bubble;
+//   * combinational 32x32 array multiplier;
+//   * word-aligned fetch of two instructions per cycle (port-based PDAT
+//     constraints, as in the paper).
+// Instruction semantics match the RV32 ISS; div/rem, CSRs, fence.i and the
+// C extension are not implemented (illegal -> halt).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+#include "synth/builder.h"
+
+namespace pdat::cores {
+
+struct RideConfig {
+  int rob_entries = 64;
+  int phys_regs = 96;
+  int pht_bits = 10;       // 2^10 x 2-bit gshare PHT
+  int btb_entries = 16;
+  std::uint32_t instr_reset_value = 0x00000013;  // NOP
+};
+
+struct RideCore {
+  Netlist netlist;
+  // Fetch-register handles (stable names "pdat_ride_i0[k]"/"pdat_ride_i1[k]")
+  // for strengthening invariants in port-based PDAT environments. Call
+  // refresh_handles() after passes that renumber nets.
+  synth::Bus instr_q0;
+  synth::Bus instr_q1;
+
+  void refresh_handles();
+};
+
+RideCore build_ridecore(const RideConfig& cfg = {});
+
+}  // namespace pdat::cores

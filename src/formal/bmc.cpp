@@ -1,0 +1,62 @@
+#include "formal/bmc.h"
+
+#include "formal/cnf_encoder.h"
+
+namespace pdat {
+
+using sat::Lit;
+using sat::SolveResult;
+
+BmcResult bmc_check(const Netlist& nl, const Environment& env, const GateProperty& prop,
+                    int depth, std::int64_t conflict_budget) {
+  BmcResult res;
+  FrameEncoder enc(nl);
+  sat::Solver s;
+  std::vector<Frame> frames;
+  for (int t = 0; t < depth; ++t) {
+    frames.push_back(enc.encode(s));
+    if (t == 0) {
+      enc.fix_initial(s, frames[0]);
+    } else {
+      enc.link(s, frames[static_cast<std::size_t>(t - 1)], frames[static_cast<std::size_t>(t)]);
+    }
+    for (NetId a : env.assumes) s.add_clause(frames.back().lit(a, true));
+  }
+  for (int t = 0; t < depth; ++t) {
+    const Frame& f = frames[static_cast<std::size_t>(t)];
+    std::vector<Lit> assumptions;
+    switch (prop.kind) {
+      case PropKind::Const0: assumptions = {f.lit(prop.target, true)}; break;
+      case PropKind::Const1: assumptions = {f.lit(prop.target, false)}; break;
+      case PropKind::Implies:
+        assumptions = {f.lit(prop.a, true), f.lit(prop.b, false)};
+        break;
+    }
+    const SolveResult r = s.solve(assumptions, conflict_budget);
+    if (r == SolveResult::Sat) {
+      res.violated = true;
+      res.violation_frame = t;
+      return res;
+    }
+    if (r == SolveResult::Unknown) res.inconclusive = true;
+  }
+  return res;
+}
+
+bool env_satisfiable(const Netlist& nl, const Environment& env, int depth) {
+  FrameEncoder enc(nl);
+  sat::Solver s;
+  Frame prev;
+  for (int t = 0; t < depth; ++t) {
+    Frame f = enc.encode(s);
+    if (t == 0)
+      enc.fix_initial(s, f);
+    else
+      enc.link(s, prev, f);
+    for (NetId a : env.assumes) s.add_clause(f.lit(a, true));
+    prev = f;
+  }
+  return s.solve({}) == SolveResult::Sat;
+}
+
+}  // namespace pdat

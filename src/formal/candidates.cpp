@@ -1,0 +1,127 @@
+#include "formal/candidates.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "netlist/levelize.h"
+
+namespace pdat {
+
+SimFilterResult sim_filter(const Netlist& nl, const Environment& env,
+                           std::vector<GateProperty> candidates, const SimFilterOptions& opt) {
+  SimFilterResult res;
+  BitSim sim(nl);
+  Rng rng(opt.seed);
+
+  std::vector<bool> alive(candidates.size(), true);
+  for (int r = 0; r < opt.restarts; ++r) {
+    sim.reset();
+    for (int cyc = 0; cyc < opt.cycles; ++cyc) {
+      drive_inputs(nl, env, sim, rng, opt.free_nets);
+      sim.eval();
+      bool env_ok = true;
+      for (NetId a : env.assumes) {
+        if (sim.value(a) != ~0ULL) {
+          env_ok = false;
+          break;
+        }
+      }
+      if (!env_ok) {
+        ++res.assume_violation_cycles;
+      } else {
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          if (!alive[i]) continue;
+          const GateProperty& p = candidates[i];
+          bool violated = false;
+          switch (p.kind) {
+            case PropKind::Const0: violated = sim.value(p.target) != 0; break;
+            case PropKind::Const1: violated = ~sim.value(p.target) != 0; break;
+            case PropKind::Implies:
+              violated = (sim.value(p.a) & ~sim.value(p.b)) != 0;
+              break;
+            case PropKind::Equiv:
+              violated = (sim.value(p.a) ^ sim.value(p.b)) != 0;
+              break;
+          }
+          if (violated) alive[i] = false;
+        }
+      }
+      // Advance state (uses the values already evaluated this cycle).
+      sim.latch();
+    }
+  }
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (alive[i])
+      res.survivors.push_back(candidates[i]);
+    else
+      ++res.dropped;
+  }
+  return res;
+}
+
+std::vector<GateProperty> equivalence_candidates(const Netlist& nl, const Environment& env,
+                                                 const EquivCandidateOptions& opt) {
+  const Levelization lv = levelize(nl);
+  BitSim sim(nl);
+  Rng rng(opt.sim.seed ^ 0xE9);
+
+  // Candidate nets: outputs of design cells (not ties, not constraint logic).
+  std::vector<NetId> nets;
+  for (CellId id : nl.live_cells()) {
+    if (opt.cell_limit != kNoCell && id >= opt.cell_limit) continue;
+    const Cell& c = nl.cell(id);
+    if (cell_is_const(c.kind)) continue;
+    nets.push_back(c.out);
+  }
+
+  // Signatures: multiply-xor fold of the sampled 64-slot words over all
+  // environment-consistent cycles.
+  std::vector<std::uint64_t> sig(nl.num_nets(), 0x9e3779b97f4a7c15ULL);
+  for (int r = 0; r < opt.sim.restarts; ++r) {
+    sim.reset();
+    for (int cyc = 0; cyc < opt.sim.cycles; ++cyc) {
+      drive_inputs(nl, env, sim, rng, opt.sim.free_nets);
+      sim.eval();
+      bool env_ok = true;
+      for (NetId a : env.assumes) {
+        if (sim.value(a) != ~0ULL) {
+          env_ok = false;
+          break;
+        }
+      }
+      if (env_ok) {
+        for (NetId n : nets) {
+          sig[n] = (sig[n] ^ sim.value(n)) * 0x100000001b3ULL;
+        }
+      }
+      sim.latch();
+    }
+  }
+
+  std::unordered_map<std::uint64_t, std::vector<NetId>> classes;
+  for (NetId n : nets) classes[sig[n]].push_back(n);
+
+  std::vector<GateProperty> out;
+  for (auto& [key, members] : classes) {
+    if (members.size() < 2 || members.size() > opt.max_class_size) continue;
+    // Representative: minimal (level, id). Equal signatures can still be
+    // hash collisions or coincidences — SAT decides later.
+    std::sort(members.begin(), members.end(), [&](NetId x, NetId y) {
+      if (lv.net_level[x] != lv.net_level[y]) return lv.net_level[x] < lv.net_level[y];
+      return x < y;
+    });
+    const NetId rep = members.front();
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      GateProperty p;
+      p.kind = PropKind::Equiv;
+      p.a = rep;
+      p.b = members[i];
+      p.cell = nl.driver(members[i]);
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace pdat

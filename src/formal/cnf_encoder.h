@@ -1,0 +1,51 @@
+// Tseitin encoding of netlist time-frames into CNF.
+//
+// A Frame gives every net a SAT variable; combinational cells become their
+// standard CNF definitions. Flop outputs are free state variables within a
+// frame; link() ties consecutive frames (next.Q = prev.D) and fix_initial()
+// pins a frame's state to the power-on values (X-initialized flops stay
+// free, which is the conservative choice for base-case checks).
+#pragma once
+
+#include <vector>
+
+#include "netlist/levelize.h"
+#include "netlist/netlist.h"
+#include "sat/solver.h"
+
+namespace pdat {
+
+struct Frame {
+  std::vector<sat::Var> net_var;  // indexed by NetId
+
+  sat::Lit lit(NetId n, bool value_true = true) const {
+    return sat::mk_lit(net_var[n], !value_true);
+  }
+};
+
+class FrameEncoder {
+ public:
+  explicit FrameEncoder(const Netlist& nl);
+
+  /// Creates variables and combinational clauses for one time-frame.
+  Frame encode(sat::Solver& s) const;
+
+  /// For every flop: next.Q == prev.D.
+  void link(sat::Solver& s, const Frame& prev, const Frame& next) const;
+
+  /// Pins frame state to the initial values; Tri::X flops remain free.
+  void fix_initial(sat::Solver& s, const Frame& f) const;
+
+  const Levelization& levels() const { return lv_; }
+  const Netlist& netlist() const { return nl_; }
+
+ private:
+  const Netlist& nl_;
+  Levelization lv_;
+};
+
+/// Emits CNF clauses defining `out = kind(a, b, c)` (combinational kinds).
+void encode_cell_cnf(sat::Solver& s, CellKind kind, sat::Lit out, sat::Lit a, sat::Lit b,
+                     sat::Lit c);
+
+}  // namespace pdat

@@ -1,0 +1,37 @@
+#include "formal/environment.h"
+
+#include <unordered_set>
+
+namespace pdat {
+
+NetId cut_net(Netlist& nl, NetId net) {
+  nl.detach_driver(net);
+  return net;
+}
+
+void SampledWordDriver::drive(BitSim& sim, Rng& rng) {
+  std::uint64_t slots[64];
+  for (auto& s : slots) s = sample_(rng);
+  Port tmp;
+  tmp.bits = bus_;
+  sim.set_port_per_slot(tmp, slots);
+}
+
+void drive_inputs(const Netlist& nl, const Environment& env, BitSim& sim, Rng& rng,
+                  const std::vector<NetId>& extra_free_nets) {
+  std::unordered_set<NetId> owned;
+  for (const auto& d : env.drivers) {
+    for (NetId n : d->owned_nets()) owned.insert(n);
+  }
+  for (const auto& p : nl.inputs()) {
+    for (NetId n : p.bits) {
+      if (!owned.count(n)) sim.set_input(n, rng.next());
+    }
+  }
+  for (NetId n : extra_free_nets) {
+    if (!owned.count(n)) sim.set_input(n, rng.next());
+  }
+  for (const auto& d : env.drivers) d->drive(sim, rng);
+}
+
+}  // namespace pdat

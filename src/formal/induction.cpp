@@ -1,0 +1,341 @@
+#include "formal/induction.h"
+
+#include "base/log.h"
+#include "formal/cnf_encoder.h"
+
+namespace pdat {
+
+using sat::Lit;
+using sat::SolveResult;
+
+namespace {
+
+/// Violation literal setup: creates (or reuses) an aux literal that, when
+/// assumed/forced true, forces the property to be violated in `f`.
+/// aux -> violation. Returns the aux literal.
+Lit make_violation_aux(sat::Solver& s, const GateProperty& p, const Frame& f) {
+  switch (p.kind) {
+    case PropKind::Const0: {
+      // Violation: target == 1. aux -> target.
+      const Lit aux = sat::mk_lit(s.new_var());
+      s.add_clause(~aux, f.lit(p.target, true));
+      return aux;
+    }
+    case PropKind::Const1: {
+      const Lit aux = sat::mk_lit(s.new_var());
+      s.add_clause(~aux, f.lit(p.target, false));
+      return aux;
+    }
+    case PropKind::Implies: {
+      // Violation: a && !b.
+      const Lit aux = sat::mk_lit(s.new_var());
+      s.add_clause(~aux, f.lit(p.a, true));
+      s.add_clause(~aux, f.lit(p.b, false));
+      return aux;
+    }
+    case PropKind::Equiv: {
+      // Violation: a != b.
+      const Lit aux = sat::mk_lit(s.new_var());
+      s.add_clause(~aux, f.lit(p.a, true), f.lit(p.b, true));
+      s.add_clause(~aux, f.lit(p.a, false), f.lit(p.b, false));
+      return aux;
+    }
+  }
+  throw PdatError("make_violation_aux: bad kind");
+}
+
+/// Asserts a property as a hard constraint in frame `f`.
+void assert_property(sat::Solver& s, const GateProperty& p, const Frame& f) {
+  switch (p.kind) {
+    case PropKind::Const0: s.add_clause(f.lit(p.target, false)); break;
+    case PropKind::Const1: s.add_clause(f.lit(p.target, true)); break;
+    case PropKind::Implies: s.add_clause(f.lit(p.a, false), f.lit(p.b, true)); break;
+    case PropKind::Equiv:
+      s.add_clause(f.lit(p.a, false), f.lit(p.b, true));
+      s.add_clause(f.lit(p.a, true), f.lit(p.b, false));
+      break;
+  }
+}
+
+/// Asserts a property guarded by an activation literal: act -> property@f.
+/// Dropping `act` from the assumption set retracts the assertion, which is
+/// how killed candidates stop strengthening the inductive hypothesis
+/// without rebuilding the solver.
+void assert_property_with_act(sat::Solver& s, const GateProperty& p, const Frame& f, Lit act) {
+  switch (p.kind) {
+    case PropKind::Const0: s.add_clause(~act, f.lit(p.target, false)); break;
+    case PropKind::Const1: s.add_clause(~act, f.lit(p.target, true)); break;
+    case PropKind::Implies:
+      s.add_clause(~act, f.lit(p.a, false), f.lit(p.b, true));
+      break;
+    case PropKind::Equiv:
+      s.add_clause(~act, f.lit(p.a, false), f.lit(p.b, true));
+      s.add_clause(~act, f.lit(p.a, true), f.lit(p.b, false));
+      break;
+  }
+}
+
+bool violated_in_model(const sat::Solver& s, const GateProperty& p, const Frame& f) {
+  auto val = [&](NetId n) { return s.model_value(f.net_var[n]); };
+  switch (p.kind) {
+    case PropKind::Const0: return val(p.target);
+    case PropKind::Const1: return !val(p.target);
+    case PropKind::Implies: return val(p.a) && !val(p.b);
+    case PropKind::Equiv: return val(p.a) != val(p.b);
+  }
+  return false;
+}
+
+/// One elimination pass: repeatedly solve "some alive candidate is violated
+/// in `check_frame`", killing falsified candidates, until UNSAT or budget.
+/// Returns the number of candidates killed.
+std::size_t eliminate(sat::Solver& s, const Frame& check_frame,
+                      std::vector<GateProperty>& cands, std::vector<bool>& alive,
+                      const InductionOptions& opt, InductionStats& st) {
+  std::vector<Lit> aux(cands.size());
+  std::vector<Lit> any_clause;
+  const Lit trigger = sat::mk_lit(s.new_var());
+  any_clause.push_back(~trigger);
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (!alive[i]) continue;
+    aux[i] = make_violation_aux(s, cands[i], check_frame);
+    any_clause.push_back(aux[i]);
+  }
+  s.add_clause(any_clause);
+
+  std::size_t kills = 0;
+  for (;;) {
+    ++st.sat_calls;
+    const SolveResult r = s.solve({trigger}, opt.conflict_budget);
+    if (r == SolveResult::Unsat) return kills;
+    if (r == SolveResult::Sat) {
+      std::size_t killed_here = 0;
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (!alive[i]) continue;
+        if (violated_in_model(s, cands[i], check_frame)) {
+          alive[i] = false;
+          s.add_clause(~aux[i]);
+          ++killed_here;
+        }
+      }
+      if (killed_here == 0) {
+        // The model satisfied the trigger via an aux of an already-killed
+        // candidate — cannot happen since killed auxes are forced false;
+        // guard against solver bugs by falling back to per-candidate mode.
+        throw PdatError("induction: aggregate model kills nothing");
+      }
+      st.cex_kills += killed_here;
+      kills += killed_here;
+      continue;
+    }
+    // Budget exhausted on the aggregate query: fall back to per-candidate
+    // queries; inconclusive candidates are dropped (conservative).
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (!alive[i]) continue;
+      ++st.sat_calls;
+      const SolveResult ri = s.solve({aux[i]}, opt.conflict_budget / 16 + 1);
+      if (ri == SolveResult::Unsat) continue;
+      if (ri == SolveResult::Sat) {
+        for (std::size_t j = 0; j < cands.size(); ++j) {
+          if (!alive[j]) continue;
+          if (violated_in_model(s, cands[j], check_frame)) {
+            alive[j] = false;
+            s.add_clause(~aux[j]);
+            ++kills;
+            ++st.cex_kills;
+          }
+        }
+      } else {
+        alive[i] = false;
+        s.add_clause(~aux[i]);
+        ++kills;
+        ++st.budget_kills;
+      }
+    }
+    return kills;
+  }
+}
+
+}  // namespace
+
+std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment& env,
+                                           std::vector<GateProperty> candidates,
+                                           const InductionOptions& opt, InductionStats* stats) {
+  InductionStats st;
+  st.initial = candidates.size();
+  FrameEncoder enc(nl);
+  std::vector<bool> alive(candidates.size(), true);
+
+  // --- base case: frames 0..k-1 from the power-on state --------------------
+  const int k = opt.k < 1 ? 1 : opt.k;
+  {
+    sat::Solver s;
+    std::vector<Frame> frames;
+    for (int j = 0; j < k; ++j) {
+      frames.push_back(enc.encode(s));
+      if (j == 0) {
+        enc.fix_initial(s, frames[0]);
+      } else {
+        enc.link(s, frames[static_cast<std::size_t>(j - 1)], frames[static_cast<std::size_t>(j)]);
+      }
+      for (NetId a : env.assumes) s.add_clause(frames.back().lit(a, true));
+    }
+    for (int j = 0; j < k; ++j) {
+      eliminate(s, frames[static_cast<std::size_t>(j)], candidates, alive, opt, st);
+    }
+  }
+  st.after_base = 0;
+  for (bool a : alive)
+    if (a) ++st.after_base;
+  log_info() << "induction: base case kept " << st.after_base << "/" << st.initial;
+
+  // --- inductive step fixpoint (van Eijk, single incremental solver) -------
+  // All alive candidates are asserted at frame 0 through activation
+  // literals; one aggregated "some alive candidate violated at frame 1"
+  // query is solved repeatedly. Each model kills every candidate it
+  // falsifies (their assertions retract immediately by dropping the
+  // activation assumption). UNSAT certifies that the surviving set is
+  // mutually 1-inductive. Termination: every SAT answer kills at least one
+  // candidate.
+  {
+    sat::Solver s;
+    std::vector<Frame> frames;
+    for (int j = 0; j <= k; ++j) {
+      frames.push_back(enc.encode(s));
+      if (j > 0) {
+        enc.link(s, frames[static_cast<std::size_t>(j - 1)], frames[static_cast<std::size_t>(j)]);
+      }
+      for (NetId a : env.assumes) s.add_clause(frames.back().lit(a, true));
+    }
+    const Frame& fk = frames.back();
+
+    // Counterexample-replay accelerator state.
+    BitSim sim(nl);
+    Rng rng(opt.seed);
+    std::vector<Lit> act(candidates.size());
+    std::vector<Lit> aux(candidates.size());
+    const Lit trigger = sat::mk_lit(s.new_var());
+    std::vector<Lit> any_clause{~trigger};
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!alive[i]) continue;
+      act[i] = sat::mk_lit(s.new_var());
+      for (int j = 0; j < k; ++j) {
+        assert_property_with_act(s, candidates[i], frames[static_cast<std::size_t>(j)], act[i]);
+      }
+      aux[i] = make_violation_aux(s, candidates[i], fk);
+      any_clause.push_back(aux[i]);
+    }
+    s.add_clause(any_clause);
+
+    auto assumptions = [&]() {
+      std::vector<Lit> v{trigger};
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (alive[i]) v.push_back(act[i]);
+      }
+      return v;
+    };
+    auto kill = [&](std::size_t i) {
+      alive[i] = false;
+      s.add_clause(~aux[i]);
+    };
+    auto kill_from_model = [&]() {
+      std::size_t killed = 0;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (alive[i] && violated_in_model(s, candidates[i], fk)) {
+          kill(i);
+          ++killed;
+        }
+      }
+      return killed;
+    };
+    // Replays the model's frame-1 state forward under the environment
+    // stimulus, killing every candidate falsified along the way. States
+    // reached this way satisfy weaker preconditions than the inductive
+    // hypothesis requires, so killing from them is conservative (it can
+    // only reduce the proved set, never make it unsound).
+    auto cex_replay = [&]() {
+      if (opt.cex_sim_cycles <= 0) return std::size_t{0};
+      for (CellId flop : sim.levels().flops) {
+        const NetId q = nl.cell(flop).out;
+        sim.set_flop_state(flop, s.model_value(fk.net_var[q]) ? ~0ULL : 0);
+      }
+      std::size_t killed = 0;
+      for (int cyc = 0; cyc < opt.cex_sim_cycles; ++cyc) {
+        drive_inputs(nl, env, sim, rng, opt.sim_free_nets);
+        sim.eval();
+        bool env_ok = true;
+        for (NetId a : env.assumes) {
+          if (sim.value(a) != ~0ULL) {
+            env_ok = false;
+            break;
+          }
+        }
+        if (env_ok) {
+          for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (!alive[i]) continue;
+            const GateProperty& p = candidates[i];
+            bool viol = false;
+            switch (p.kind) {
+              case PropKind::Const0: viol = sim.value(p.target) != 0; break;
+              case PropKind::Const1: viol = ~sim.value(p.target) != 0; break;
+              case PropKind::Implies: viol = (sim.value(p.a) & ~sim.value(p.b)) != 0; break;
+              case PropKind::Equiv: viol = (sim.value(p.a) ^ sim.value(p.b)) != 0; break;
+            }
+            if (viol) {
+              kill(i);
+              ++killed;
+            }
+          }
+        }
+        sim.latch();
+      }
+      return killed;
+    };
+
+    bool proven_fixpoint = false;
+    while (!proven_fixpoint) {
+      ++st.rounds;
+      ++st.sat_calls;
+      const SolveResult r = s.solve(assumptions(), opt.conflict_budget);
+      if (r == SolveResult::Unsat) {
+        proven_fixpoint = true;
+      } else if (r == SolveResult::Sat) {
+        std::size_t killed = kill_from_model();
+        if (killed == 0) throw PdatError("induction: model kills nothing");
+        killed += cex_replay();
+        st.cex_kills += killed;
+      } else {
+        // Aggregate budget exhausted: per-candidate sweep. Inconclusive
+        // candidates are dropped (conservative); if the sweep completes
+        // without any kill, the alive set is proved.
+        std::size_t killed = 0;
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          if (!alive[i]) continue;
+          std::vector<Lit> as = assumptions();
+          as[0] = aux[i];  // replace trigger with this candidate's violation
+          ++st.sat_calls;
+          const SolveResult ri = s.solve(as, opt.conflict_budget / 16 + 1);
+          if (ri == SolveResult::Unsat) continue;
+          if (ri == SolveResult::Sat) {
+            killed += kill_from_model();
+          } else {
+            kill(i);
+            ++killed;
+            ++st.budget_kills;
+          }
+        }
+        if (killed == 0) proven_fixpoint = true;
+      }
+    }
+  }
+
+  std::vector<GateProperty> proven;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (alive[i]) proven.push_back(candidates[i]);
+  }
+  st.proven = proven.size();
+  if (stats != nullptr) *stats = st;
+  return proven;
+}
+
+}  // namespace pdat

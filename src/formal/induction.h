@@ -1,0 +1,64 @@
+// Temporal-induction invariant prover (the Questa Formal substitute).
+//
+// Given a set of candidate gate properties, proves the maximal mutually
+// 1-inductive subset that also holds in the initial state, under the
+// environment restrictions:
+//
+//   base : every surviving candidate holds in the power-on state for all
+//          allowed inputs (frame-0 SAT check, flops pinned to init values);
+//   step : assuming all surviving candidates and the environment at frame t,
+//          no surviving candidate can be violated at frame t+1.
+//
+// The fixpoint runs van-Eijk style: all candidates are asserted at frame 0,
+// a single aggregated "some candidate violated at frame 1" query is solved
+// repeatedly; each model kills every candidate it falsifies; when the
+// aggregate query is UNSAT the surviving set is proved. Inconclusive SAT
+// calls (conflict budget) drop candidates, never proofs — matching the
+// paper's observation (§VII-C) that inconclusive analyses merely reduce
+// optimization quality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "formal/environment.h"
+#include "formal/property.h"
+#include "netlist/netlist.h"
+
+namespace pdat {
+
+struct InductionOptions {
+  std::int64_t conflict_budget = 200000;  // per aggregate SAT call
+  /// Temporal-induction depth: candidates are assumed at frames 0..k-1 and
+  /// checked at frame k (base case covers frames 0..k-1 from reset). k = 1
+  /// is the classic van Eijk fixpoint; higher k proves invariants whose
+  /// support spans multiple cycles at the cost of a deeper unrolling.
+  int k = 1;
+  /// Counterexample replay: after each SAT model, the frame-1 state is
+  /// loaded into the bit-parallel simulator and run for this many cycles
+  /// under the environment stimulus; every candidate falsified on the way
+  /// is killed without further SAT calls. 0 disables the accelerator.
+  int cex_sim_cycles = 48;
+  /// Cutpoint nets (no driver, not primary inputs) that the replay must
+  /// drive randomly when no environment driver owns them.
+  std::vector<NetId> sim_free_nets;
+  std::uint64_t seed = 0xCE7;
+};
+
+struct InductionStats {
+  std::size_t initial = 0;
+  std::size_t after_base = 0;
+  std::size_t proven = 0;
+  std::size_t sat_calls = 0;
+  std::size_t cex_kills = 0;
+  std::size_t budget_kills = 0;
+  int rounds = 0;
+};
+
+/// Returns the proved subset of `candidates`.
+std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment& env,
+                                           std::vector<GateProperty> candidates,
+                                           const InductionOptions& opt = {},
+                                           InductionStats* stats = nullptr);
+
+}  // namespace pdat

@@ -1,0 +1,50 @@
+// Gate-level invariant properties — the checkable form of the paper's
+// SVA Property Library entries (Listing 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace pdat {
+
+enum class PropKind : std::uint8_t {
+  Const0,  // assert property (net == 1'b0)
+  Const1,  // assert property (net == 1'b1)
+  Implies, // assert property (a |-> b)   e.g. and_in_A1_A2
+  Equiv,   // assert property (a == b)  — signal correspondence (extension)
+};
+
+struct GateProperty {
+  PropKind kind = PropKind::Const0;
+  NetId target = kNoNet;  // Const*: the net; Implies: unused
+  NetId a = kNoNet;       // Implies: antecedent net
+  NetId b = kNoNet;       // Implies: consequent net
+  CellId cell = kNoCell;  // the annotated cell (for rewiring)
+  // For Implies on a cell: which input index the output can be rewired to
+  // (and whether through an inverter), decided by the property library.
+  int rewire_to_input = -1;
+  bool rewire_inverted = false;
+  // Strengthening-only candidates (e.g. subset-membership of a fetch
+  // register, built over analysis-only constraint logic) participate in the
+  // induction fixpoint but must not be applied by the rewiring stage.
+  bool rewireable = true;
+
+  std::string describe() const;
+};
+
+inline std::string GateProperty::describe() const {
+  switch (kind) {
+    case PropKind::Const0: return "net" + std::to_string(target) + "==0";
+    case PropKind::Const1: return "net" + std::to_string(target) + "==1";
+    case PropKind::Implies:
+      return "net" + std::to_string(a) + "->net" + std::to_string(b);
+    case PropKind::Equiv:
+      return "net" + std::to_string(a) + "==net" + std::to_string(b);
+  }
+  return "?";
+}
+
+}  // namespace pdat

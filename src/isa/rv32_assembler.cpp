@@ -1,0 +1,386 @@
+#include "isa/rv32_assembler.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "base/types.h"
+#include "isa/rv32_isa.h"
+
+namespace pdat::isa {
+namespace {
+
+const std::map<std::string, unsigned>& abi_names() {
+  static const std::map<std::string, unsigned> m = [] {
+    std::map<std::string, unsigned> r;
+    for (unsigned i = 0; i < 32; ++i) r["x" + std::to_string(i)] = i;
+    r["zero"] = 0; r["ra"] = 1; r["sp"] = 2; r["gp"] = 3; r["tp"] = 4;
+    r["t0"] = 5; r["t1"] = 6; r["t2"] = 7;
+    r["s0"] = 8; r["fp"] = 8; r["s1"] = 9;
+    for (unsigned i = 0; i < 8; ++i) r["a" + std::to_string(i)] = 10 + i;
+    for (unsigned i = 2; i < 12; ++i) r["s" + std::to_string(i)] = 16 + i;
+    for (unsigned i = 3; i < 7; ++i) r["t" + std::to_string(i)] = 25 + i;
+    return r;
+  }();
+  return m;
+}
+
+struct Operand {
+  enum class Kind { Reg, Imm, Label, Mem } kind;
+  unsigned reg = 0;
+  std::int64_t imm = 0;
+  std::string label;
+  unsigned base_reg = 0;  // for Mem: imm(base)
+};
+
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  for (auto& o : out) {
+    while (!o.empty() && std::isspace(static_cast<unsigned char>(o.front()))) o.erase(o.begin());
+    while (!o.empty() && std::isspace(static_cast<unsigned char>(o.back()))) o.pop_back();
+  }
+  return out;
+}
+
+bool parse_int(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  std::size_t pos = 0;
+  try {
+    out = std::stoll(s, &pos, 0);
+  } catch (...) {
+    return false;
+  }
+  return pos == s.size();
+}
+
+Operand parse_operand(const std::string& s) {
+  Operand op;
+  const auto paren = s.find('(');
+  if (paren != std::string::npos && s.back() == ')') {
+    op.kind = Operand::Kind::Mem;
+    const std::string off = s.substr(0, paren);
+    if (!parse_int(off.empty() ? "0" : off, op.imm)) throw PdatError("bad offset: " + s);
+    op.base_reg = parse_rv32_reg(s.substr(paren + 1, s.size() - paren - 2));
+    return op;
+  }
+  if (abi_names().count(s)) {
+    op.kind = Operand::Kind::Reg;
+    op.reg = abi_names().at(s);
+    return op;
+  }
+  if (parse_int(s, op.imm)) {
+    op.kind = Operand::Kind::Imm;
+    return op;
+  }
+  op.kind = Operand::Kind::Label;
+  op.label = s;
+  return op;
+}
+
+struct Pending {
+  std::string mnemonic;
+  std::vector<Operand> ops;
+  std::uint32_t addr;
+  int line;
+};
+
+}  // namespace
+
+unsigned parse_rv32_reg(const std::string& name) {
+  auto it = abi_names().find(name);
+  if (it == abi_names().end()) throw PdatError("unknown register: " + name);
+  return it->second;
+}
+
+AssembledProgram assemble_rv32(const std::string& source) {
+  AssembledProgram prog;
+  std::vector<Pending> insts;
+  std::uint32_t addr = 0;
+  std::istringstream in(source);
+  std::string raw;
+  int line_no = 0;
+
+  // Pass 1: tokenize, collect labels, expand pseudo-instructions.
+  auto emit = [&](const std::string& mn, std::vector<Operand> ops) {
+    insts.push_back(Pending{mn, std::move(ops), addr, line_no});
+    addr += 4;
+  };
+  auto reg_op = [](unsigned r) {
+    Operand o;
+    o.kind = Operand::Kind::Reg;
+    o.reg = r;
+    return o;
+  };
+  auto imm_op = [](std::int64_t v) {
+    Operand o;
+    o.kind = Operand::Kind::Imm;
+    o.imm = v;
+    return o;
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // label?
+    const auto colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string label = line.substr(0, colon);
+      while (!label.empty() && std::isspace(static_cast<unsigned char>(label.front())))
+        label.erase(label.begin());
+      while (!label.empty() && std::isspace(static_cast<unsigned char>(label.back())))
+        label.pop_back();
+      if (label.empty()) throw PdatError("line " + std::to_string(line_no) + ": empty label");
+      prog.labels[label] = addr;
+      line = line.substr(colon + 1);
+    }
+    std::istringstream ls(line);
+    std::string mn;
+    if (!(ls >> mn)) continue;
+    std::string rest;
+    std::getline(ls, rest);
+    std::vector<Operand> ops;
+    for (const auto& tok : split_operands(rest)) ops.push_back(parse_operand(tok));
+
+    // Pseudo-instruction expansion.
+    if (mn == "nop") {
+      emit("addi", {reg_op(0), reg_op(0), imm_op(0)});
+    } else if (mn == "li") {
+      if (ops.size() != 2 || ops[1].kind != Operand::Kind::Imm)
+        throw PdatError("line " + std::to_string(line_no) + ": li rd, imm");
+      const auto v = static_cast<std::int32_t>(ops[1].imm);
+      if (v >= -2048 && v < 2048) {
+        emit("addi", {ops[0], reg_op(0), imm_op(v)});
+      } else {
+        const std::int32_t lo = (v << 20) >> 20;  // sign-extended low 12
+        const std::uint32_t hi = static_cast<std::uint32_t>(v) - static_cast<std::uint32_t>(lo);
+        emit("lui", {ops[0], imm_op((hi >> 12) & 0xfffff)});  // raw 20-bit upper imm
+        if (lo != 0) emit("addi", {ops[0], ops[0], imm_op(lo)});
+      }
+    } else if (mn == "mv") {
+      emit("addi", {ops[0], ops[1], imm_op(0)});
+    } else if (mn == "not") {
+      emit("xori", {ops[0], ops[1], imm_op(-1)});
+    } else if (mn == "neg") {
+      emit("sub", {ops[0], reg_op(0), ops[1]});
+    } else if (mn == "seqz") {
+      emit("sltiu", {ops[0], ops[1], imm_op(1)});
+    } else if (mn == "snez") {
+      emit("sltu", {ops[0], reg_op(0), ops[1]});
+    } else if (mn == "j") {
+      emit("jal", {reg_op(0), ops[0]});
+    } else if (mn == "jr") {
+      emit("jalr", {reg_op(0), ops[0], imm_op(0)});
+    } else if (mn == "ret") {
+      emit("jalr", {reg_op(0), reg_op(1), imm_op(0)});
+    } else if (mn == "call") {
+      emit("jal", {reg_op(1), ops[0]});
+    } else if (mn == "beqz") {
+      emit("beq", {ops[0], reg_op(0), ops[1]});
+    } else if (mn == "bnez") {
+      emit("bne", {ops[0], reg_op(0), ops[1]});
+    } else if (mn == "blez") {
+      emit("bge", {reg_op(0), ops[0], ops[1]});
+    } else if (mn == "bgtz") {
+      emit("blt", {reg_op(0), ops[0], ops[1]});
+    } else if (mn == "bgt") {
+      emit("blt", {ops[1], ops[0], ops[2]});
+    } else if (mn == "ble") {
+      emit("bge", {ops[1], ops[0], ops[2]});
+    } else if (mn == "bgtu") {
+      emit("bltu", {ops[1], ops[0], ops[2]});
+    } else if (mn == "bleu") {
+      emit("bgeu", {ops[1], ops[0], ops[2]});
+    } else if (mn == ".word") {
+      // Raw data word.
+      emit(".word", {ops[0]});
+    } else {
+      emit(mn, std::move(ops));
+    }
+  }
+
+  // Pass 2: encode.
+  auto resolve = [&](const Operand& o, std::uint32_t cur, int line) -> std::int64_t {
+    if (o.kind == Operand::Kind::Imm) return o.imm;
+    if (o.kind == Operand::Kind::Label) {
+      auto it = prog.labels.find(o.label);
+      if (it == prog.labels.end())
+        throw PdatError("line " + std::to_string(line) + ": unknown label " + o.label);
+      return static_cast<std::int64_t>(it->second) - static_cast<std::int64_t>(cur);
+    }
+    throw PdatError("line " + std::to_string(line) + ": expected immediate or label");
+  };
+
+  for (const auto& p : insts) {
+    if (p.mnemonic == ".word") {
+      prog.words.push_back(static_cast<std::uint32_t>(p.ops.at(0).imm));
+      continue;
+    }
+    const RvInstrSpec& spec = rv32_instr(p.mnemonic);
+    RvFields f;
+    const auto& ops = p.ops;
+    auto req = [&](std::size_t n) {
+      if (ops.size() != n)
+        throw PdatError("line " + std::to_string(p.line) + ": " + p.mnemonic + " expects " +
+                        std::to_string(n) + " operands");
+    };
+    switch (spec.fmt) {
+      case RvFormat::R:
+        req(3);
+        f.rd = ops[0].reg; f.rs1 = ops[1].reg; f.rs2 = ops[2].reg;
+        break;
+      case RvFormat::I:
+        if (ops.size() == 2 && ops[1].kind == Operand::Kind::Mem) {
+          // load: lw rd, imm(rs1)
+          f.rd = ops[0].reg; f.rs1 = ops[1].base_reg;
+          f.imm = static_cast<std::int32_t>(ops[1].imm);
+        } else {
+          req(3);
+          f.rd = ops[0].reg; f.rs1 = ops[1].reg;
+          f.imm = static_cast<std::int32_t>(resolve(ops[2], p.addr, p.line));
+        }
+        if (f.imm < -2048 || f.imm > 2047)
+          throw PdatError("line " + std::to_string(p.line) + ": imm12 out of range");
+        break;
+      case RvFormat::Shamt:
+        req(3);
+        f.rd = ops[0].reg; f.rs1 = ops[1].reg;
+        f.shamt = static_cast<unsigned>(ops[2].imm) & 31;
+        break;
+      case RvFormat::S:
+        req(2);
+        if (ops[1].kind != Operand::Kind::Mem)
+          throw PdatError("line " + std::to_string(p.line) + ": store needs imm(rs1)");
+        f.rs2 = ops[0].reg; f.rs1 = ops[1].base_reg;
+        f.imm = static_cast<std::int32_t>(ops[1].imm);
+        break;
+      case RvFormat::B:
+        req(3);
+        f.rs1 = ops[0].reg; f.rs2 = ops[1].reg;
+        f.imm = static_cast<std::int32_t>(resolve(ops[2], p.addr, p.line));
+        if (f.imm < -4096 || f.imm > 4095 || (f.imm & 1))
+          throw PdatError("line " + std::to_string(p.line) + ": branch offset out of range");
+        break;
+      case RvFormat::U:
+        req(2);
+        f.rd = ops[0].reg;
+        // Accept either a pre-shifted value (from li) or a raw 20-bit imm.
+        if (ops[1].imm >= 0 && ops[1].imm < (1 << 20)) {
+          f.imm = static_cast<std::int32_t>(ops[1].imm << 12);
+        } else {
+          f.imm = static_cast<std::int32_t>(ops[1].imm);
+        }
+        break;
+      case RvFormat::J:
+        req(2);
+        f.rd = ops[0].reg;
+        f.imm = static_cast<std::int32_t>(resolve(ops[1], p.addr, p.line));
+        break;
+      case RvFormat::Csr:
+        req(3);
+        f.rd = ops[0].reg;
+        f.csr = static_cast<unsigned>(ops[1].imm);
+        f.rs1 = ops[2].reg;
+        break;
+      case RvFormat::CsrI:
+        req(3);
+        f.rd = ops[0].reg;
+        f.csr = static_cast<unsigned>(ops[1].imm);
+        f.zimm = static_cast<unsigned>(ops[2].imm) & 31;
+        break;
+      case RvFormat::Fixed:
+      case RvFormat::Fence:
+        break;
+      default:
+        throw PdatError("line " + std::to_string(p.line) +
+                        ": cannot assemble compressed mnemonic directly");
+    }
+    prog.words.push_back(rv32_encode(spec, f));
+    ++prog.static_profile[std::string(spec.name)];
+  }
+  return prog;
+}
+
+bool rv32_compressible(std::uint32_t word, std::string* c_name) {
+  const RvInstrSpec* spec = rv32_decode_spec(word);
+  if (spec == nullptr || spec->compressed) return false;
+  const RvFields f = rv32_extract(*spec, word);
+  auto name = [&](const char* n) {
+    if (c_name != nullptr) *c_name = n;
+    return true;
+  };
+  const bool rd_prime = f.rd >= 8 && f.rd < 16;
+  const bool rs1_prime = f.rs1 >= 8 && f.rs1 < 16;
+  const bool rs2_prime = f.rs2 >= 8 && f.rs2 < 16;
+  const std::string_view n = spec->name;
+  if (n == "addi") {
+    if (f.rd == 2 && f.rs1 == 2 && f.imm != 0 && f.imm % 16 == 0 && f.imm >= -512 && f.imm < 512)
+      return name("c.addi16sp");
+    if (f.rs1 == 2 && rd_prime && f.imm >= 0 && f.imm < 1024 && f.imm % 4 == 0 && f.imm != 0)
+      return name("c.addi4spn");
+    if (f.rs1 == 0 && f.imm >= -32 && f.imm < 32) return name("c.li");
+    if (f.rd == f.rs1 && f.rd != 0 && f.imm >= -32 && f.imm < 32) return name("c.addi");
+    if (f.imm == 0 && f.rs1 != 0 && f.rd != 0) return name("c.mv");
+    return false;
+  }
+  if (n == "lui" && f.rd != 0 && f.rd != 2) {
+    const std::int32_t hi = f.imm >> 12;
+    if (hi != 0 && hi >= -32 && hi < 32) return name("c.lui");
+    return false;
+  }
+  if (n == "lw") {
+    if (f.rs1 == 2 && f.imm >= 0 && f.imm < 256 && f.imm % 4 == 0) return name("c.lwsp");
+    if (rd_prime && rs1_prime && f.imm >= 0 && f.imm < 128 && f.imm % 4 == 0) return name("c.lw");
+    return false;
+  }
+  if (n == "sw") {
+    if (f.rs1 == 2 && f.imm >= 0 && f.imm < 256 && f.imm % 4 == 0) return name("c.swsp");
+    if (rs2_prime && rs1_prime && f.imm >= 0 && f.imm < 128 && f.imm % 4 == 0) return name("c.sw");
+    return false;
+  }
+  if (n == "jal") {
+    if (f.imm >= -2048 && f.imm < 2048) {
+      if (f.rd == 0) return name("c.j");
+      if (f.rd == 1) return name("c.jal");
+    }
+    return false;
+  }
+  if (n == "jalr" && f.imm == 0 && f.rs1 != 0) {
+    if (f.rd == 0) return name("c.jr");
+    if (f.rd == 1) return name("c.jalr");
+    return false;
+  }
+  if (n == "beq" && f.rs2 == 0 && rs1_prime && f.imm >= -256 && f.imm < 256) return name("c.beqz");
+  if (n == "bne" && f.rs2 == 0 && rs1_prime && f.imm >= -256 && f.imm < 256) return name("c.bnez");
+  if (n == "add") {
+    if (f.rs1 == 0 && f.rd != 0 && f.rs2 != 0) return name("c.mv");
+    if (f.rd == f.rs1 && f.rd != 0 && f.rs2 != 0) return name("c.add");
+    return false;
+  }
+  if ((n == "sub" || n == "xor" || n == "or" || n == "and") && f.rd == f.rs1 && rd_prime &&
+      rs2_prime) {
+    if (n == "sub") return name("c.sub");
+    if (n == "xor") return name("c.xor");
+    if (n == "or") return name("c.or");
+    return name("c.and");
+  }
+  if (n == "andi" && f.rd == f.rs1 && rd_prime && f.imm >= -32 && f.imm < 32)
+    return name("c.andi");
+  if ((n == "srli" || n == "srai") && f.rd == f.rs1 && rd_prime && f.shamt != 0)
+    return name(n == "srli" ? "c.srli" : "c.srai");
+  if (n == "slli" && f.rd == f.rs1 && f.rd != 0 && f.shamt != 0) return name("c.slli");
+  if (n == "ebreak") return name("c.ebreak");
+  return false;
+}
+
+}  // namespace pdat::isa

@@ -1,0 +1,38 @@
+// Small two-pass RV32IM assembler.
+//
+// Supports the syntax subset the MiBench-like workloads use: labels,
+// register ABI names, loads/stores with `imm(rs)` addressing, branches to
+// labels, and the common pseudo-instructions (li/mv/nop/j/ret/beqz/bnez/
+// call). Emits uncompressed 32-bit words based at address 0.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/rv32_encoding.h"
+
+namespace pdat::isa {
+
+struct AssembledProgram {
+  std::vector<std::uint32_t> words;
+  std::map<std::string, std::uint32_t> labels;  // label -> byte address
+
+  /// Static instruction profile: canonical mnemonic -> occurrence count.
+  /// Pseudo-instructions are counted as their expansions.
+  std::map<std::string, int> static_profile;
+};
+
+/// Throws PdatError with a line-numbered message on any syntax error.
+AssembledProgram assemble_rv32(const std::string& source);
+
+/// Parses a register name ("x7", "a0", "sp", ...); throws if unknown.
+unsigned parse_rv32_reg(const std::string& name);
+
+/// True when this concrete instruction instance has a compressed (RV32C)
+/// equivalent — used to derive which c.* instructions a compiled-with-C
+/// binary would contain (Table I profiles).
+bool rv32_compressible(std::uint32_t word, std::string* c_name = nullptr);
+
+}  // namespace pdat::isa

@@ -1,0 +1,335 @@
+#include "isa/rv32_encoding.h"
+
+#include <unordered_map>
+
+#include "base/types.h"
+
+namespace pdat::isa {
+namespace {
+
+constexpr std::uint32_t kRMask = 0xfe00707f;
+constexpr std::uint32_t kIMask = 0x0000707f;
+constexpr std::uint32_t kUMask = 0x0000007f;
+constexpr std::uint32_t kFullMask = 0xffffffff;
+constexpr std::uint32_t kCMask = 0xe003;  // funct3 + op
+
+std::vector<RvInstrSpec> make_table() {
+  std::vector<RvInstrSpec> t;
+  auto add = [&](std::string_view name, RvExt ext, RvFormat fmt, std::uint32_t match,
+                 std::uint32_t mask, bool compressed = false) {
+    t.push_back(RvInstrSpec{name, ext, fmt, match, mask, compressed});
+  };
+
+  // --- RV32I base (40 instructions) ---------------------------------------
+  add("lui", RvExt::I, RvFormat::U, 0x00000037, kUMask);
+  add("auipc", RvExt::I, RvFormat::U, 0x00000017, kUMask);
+  add("jal", RvExt::I, RvFormat::J, 0x0000006f, kUMask);
+  add("jalr", RvExt::I, RvFormat::I, 0x00000067, kIMask);
+  add("beq", RvExt::I, RvFormat::B, 0x00000063, kIMask);
+  add("bne", RvExt::I, RvFormat::B, 0x00001063, kIMask);
+  add("blt", RvExt::I, RvFormat::B, 0x00004063, kIMask);
+  add("bge", RvExt::I, RvFormat::B, 0x00005063, kIMask);
+  add("bltu", RvExt::I, RvFormat::B, 0x00006063, kIMask);
+  add("bgeu", RvExt::I, RvFormat::B, 0x00007063, kIMask);
+  add("lb", RvExt::I, RvFormat::I, 0x00000003, kIMask);
+  add("lh", RvExt::I, RvFormat::I, 0x00001003, kIMask);
+  add("lw", RvExt::I, RvFormat::I, 0x00002003, kIMask);
+  add("lbu", RvExt::I, RvFormat::I, 0x00004003, kIMask);
+  add("lhu", RvExt::I, RvFormat::I, 0x00005003, kIMask);
+  add("sb", RvExt::I, RvFormat::S, 0x00000023, kIMask);
+  add("sh", RvExt::I, RvFormat::S, 0x00001023, kIMask);
+  add("sw", RvExt::I, RvFormat::S, 0x00002023, kIMask);
+  add("addi", RvExt::I, RvFormat::I, 0x00000013, kIMask);
+  add("slti", RvExt::I, RvFormat::I, 0x00002013, kIMask);
+  add("sltiu", RvExt::I, RvFormat::I, 0x00003013, kIMask);
+  add("xori", RvExt::I, RvFormat::I, 0x00004013, kIMask);
+  add("ori", RvExt::I, RvFormat::I, 0x00006013, kIMask);
+  add("andi", RvExt::I, RvFormat::I, 0x00007013, kIMask);
+  add("slli", RvExt::I, RvFormat::Shamt, 0x00001013, kRMask);
+  add("srli", RvExt::I, RvFormat::Shamt, 0x00005013, kRMask);
+  add("srai", RvExt::I, RvFormat::Shamt, 0x40005013, kRMask);
+  add("add", RvExt::I, RvFormat::R, 0x00000033, kRMask);
+  add("sub", RvExt::I, RvFormat::R, 0x40000033, kRMask);
+  add("sll", RvExt::I, RvFormat::R, 0x00001033, kRMask);
+  add("slt", RvExt::I, RvFormat::R, 0x00002033, kRMask);
+  add("sltu", RvExt::I, RvFormat::R, 0x00003033, kRMask);
+  add("xor", RvExt::I, RvFormat::R, 0x00004033, kRMask);
+  add("srl", RvExt::I, RvFormat::R, 0x00005033, kRMask);
+  add("sra", RvExt::I, RvFormat::R, 0x40005033, kRMask);
+  add("or", RvExt::I, RvFormat::R, 0x00006033, kRMask);
+  add("and", RvExt::I, RvFormat::R, 0x00007033, kRMask);
+  add("fence", RvExt::I, RvFormat::Fence, 0x0000000f, kIMask);
+  add("ecall", RvExt::I, RvFormat::Fixed, 0x00000073, kFullMask);
+  add("ebreak", RvExt::I, RvFormat::Fixed, 0x00100073, kFullMask);
+
+  // --- M extension (8) ------------------------------------------------------
+  add("mul", RvExt::M, RvFormat::R, 0x02000033, kRMask);
+  add("mulh", RvExt::M, RvFormat::R, 0x02001033, kRMask);
+  add("mulhsu", RvExt::M, RvFormat::R, 0x02002033, kRMask);
+  add("mulhu", RvExt::M, RvFormat::R, 0x02003033, kRMask);
+  add("div", RvExt::M, RvFormat::R, 0x02004033, kRMask);
+  add("divu", RvExt::M, RvFormat::R, 0x02005033, kRMask);
+  add("rem", RvExt::M, RvFormat::R, 0x02006033, kRMask);
+  add("remu", RvExt::M, RvFormat::R, 0x02007033, kRMask);
+
+  // --- Zicsr (6) + Zifencei (1): the paper's "z-extension" -------------------
+  add("csrrw", RvExt::Zicsr, RvFormat::Csr, 0x00001073, kIMask);
+  add("csrrs", RvExt::Zicsr, RvFormat::Csr, 0x00002073, kIMask);
+  add("csrrc", RvExt::Zicsr, RvFormat::Csr, 0x00003073, kIMask);
+  add("csrrwi", RvExt::Zicsr, RvFormat::CsrI, 0x00005073, kIMask);
+  add("csrrsi", RvExt::Zicsr, RvFormat::CsrI, 0x00006073, kIMask);
+  add("csrrci", RvExt::Zicsr, RvFormat::CsrI, 0x00007073, kIMask);
+  add("fence.i", RvExt::Zifencei, RvFormat::Fixed, 0x0000100f, kFullMask);
+
+  // --- C extension (RV32C) ----------------------------------------------------
+  // Ordered most-specific-first within each funct3/op group so that decode
+  // (first match wins) resolves the shared encodings correctly.
+  add("c.addi4spn", RvExt::C, RvFormat::CIW, 0x0000, kCMask, true);
+  add("c.lw", RvExt::C, RvFormat::CL, 0x4000, kCMask, true);
+  add("c.sw", RvExt::C, RvFormat::CS, 0xc000, kCMask, true);
+  add("c.addi", RvExt::C, RvFormat::CI, 0x0001, kCMask, true);
+  add("c.jal", RvExt::C, RvFormat::CJ, 0x2001, kCMask, true);
+  add("c.li", RvExt::C, RvFormat::CI, 0x4001, kCMask, true);
+  add("c.addi16sp", RvExt::C, RvFormat::CI16, 0x6101, kCMask | 0x0f80, true);  // rd == 2
+  add("c.lui", RvExt::C, RvFormat::CLUI, 0x6001, kCMask, true);
+  add("c.srli", RvExt::C, RvFormat::CShamt, 0x8001, kCMask | 0x0c00, true);
+  add("c.srai", RvExt::C, RvFormat::CShamt, 0x8401, kCMask | 0x0c00, true);
+  add("c.andi", RvExt::C, RvFormat::CAnd, 0x8801, kCMask | 0x0c00, true);
+  add("c.sub", RvExt::C, RvFormat::CA, 0x8c01, 0xfc63, true);
+  add("c.xor", RvExt::C, RvFormat::CA, 0x8c21, 0xfc63, true);
+  add("c.or", RvExt::C, RvFormat::CA, 0x8c41, 0xfc63, true);
+  add("c.and", RvExt::C, RvFormat::CA, 0x8c61, 0xfc63, true);
+  add("c.j", RvExt::C, RvFormat::CJ, 0xa001, kCMask, true);
+  add("c.beqz", RvExt::C, RvFormat::CB, 0xc001, kCMask, true);
+  add("c.bnez", RvExt::C, RvFormat::CB, 0xe001, kCMask, true);
+  add("c.slli", RvExt::C, RvFormat::CShamt, 0x0002, kCMask, true);
+  add("c.lwsp", RvExt::C, RvFormat::CLSP, 0x4002, kCMask, true);
+  add("c.jr", RvExt::C, RvFormat::CR, 0x8002, 0xf07f, true);    // bit12=0, rs2=0
+  add("c.mv", RvExt::C, RvFormat::CR, 0x8002, 0xf003, true);    // bit12=0, rs2!=0
+  add("c.ebreak", RvExt::C, RvFormat::CR, 0x9002, 0xffff, true);
+  add("c.jalr", RvExt::C, RvFormat::CR, 0x9002, 0xf07f, true);  // bit12=1, rs2=0
+  add("c.add", RvExt::C, RvFormat::CR, 0x9002, 0xf003, true);   // bit12=1, rs2!=0
+  add("c.swsp", RvExt::C, RvFormat::CSS, 0xc002, kCMask, true);
+  return t;
+}
+
+}  // namespace
+
+const std::vector<RvInstrSpec>& rv32_instructions() {
+  static const std::vector<RvInstrSpec> table = make_table();
+  return table;
+}
+
+const RvInstrSpec& rv32_instr(std::string_view name) {
+  return rv32_instructions()[static_cast<std::size_t>(rv32_instr_index(name))];
+}
+
+int rv32_instr_index(std::string_view name) {
+  static const std::unordered_map<std::string_view, int> index = [] {
+    std::unordered_map<std::string_view, int> m;
+    const auto& t = rv32_instructions();
+    for (std::size_t i = 0; i < t.size(); ++i) m.emplace(t[i].name, static_cast<int>(i));
+    return m;
+  }();
+  auto it = index.find(name);
+  if (it == index.end()) throw PdatError("unknown rv32 instruction: " + std::string(name));
+  return it->second;
+}
+
+const RvInstrSpec* rv32_decode_spec(std::uint32_t word) {
+  const bool compressed = (word & 3) != 3;
+  for (const auto& spec : rv32_instructions()) {
+    if (spec.compressed != compressed) continue;
+    if (spec.matches(word)) {
+      // Reject reserved encodings that share a major pattern.
+      if (spec.name == "c.addi4spn" && (word & 0x1fe0) == 0) return nullptr;  // nzuimm == 0
+      if (spec.name == "c.lui" || spec.name == "c.li") {
+        // c.lui with rd == 2 is addi16sp (earlier in table); rd==0 reserved
+        // when imm != 0 is a HINT — accept as the instruction for simplicity.
+      }
+      if (spec.name == "c.jr" && ((word >> 7) & 0x1f) == 0) return nullptr;  // rs1 == 0 reserved
+      // RV32: compressed shifts with shamt[5] set are reserved.
+      if (spec.fmt == RvFormat::CShamt && ((word >> 12) & 1) != 0) return nullptr;
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+std::uint32_t rv32_sample(const RvInstrSpec& spec, Rng& rng, bool rve) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::uint32_t w = static_cast<std::uint32_t>(rng.next());
+    if (spec.compressed) w &= 0xffff;
+    w = (w & ~spec.mask) | spec.match;
+    if (rve && !spec.compressed) {
+      // Clear the top bit of every 5-bit register field this format uses.
+      switch (spec.fmt) {
+        case RvFormat::R:
+          w &= ~((1u << 11) | (1u << 19) | (1u << 24));
+          break;
+        case RvFormat::I:
+        case RvFormat::Shamt:
+        case RvFormat::Csr:
+          w &= ~((1u << 11) | (1u << 19));
+          break;
+        case RvFormat::CsrI:
+          w &= ~(1u << 11);
+          break;
+        case RvFormat::S:
+        case RvFormat::B:
+          w &= ~((1u << 19) | (1u << 24));
+          break;
+        case RvFormat::U:
+        case RvFormat::J:
+          w &= ~(1u << 11);
+          break;
+        default:
+          break;
+      }
+    }
+    if (rve && spec.compressed) {
+      // Clear the top bit of full (5-bit) register fields.
+      switch (spec.fmt) {
+        case RvFormat::CR: w &= ~((1u << 11) | (1u << 6)); break;
+        case RvFormat::CI:
+        case RvFormat::CLUI:
+        case RvFormat::CLSP: w &= ~(1u << 11); break;
+        case RvFormat::CShamt:
+          if ((spec.match & 3) == 2) w &= ~(1u << 11);  // c.slli
+          break;
+        case RvFormat::CSS: w &= ~(1u << 6); break;
+        default: break;  // prime-register formats already use x8..x15
+      }
+    }
+    if (spec.fmt == RvFormat::Shamt || spec.fmt == RvFormat::CShamt) {
+      w &= ~(1u << (spec.compressed ? 12 : 25));  // RV32: shamt < 32
+    }
+    if (spec.compressed) {
+      const RvInstrSpec* dec = rv32_decode_spec(w);
+      if (dec == nullptr || dec->name != spec.name) continue;
+    }
+    return w;
+  }
+  throw PdatError("rv32_sample: could not sample " + std::string(spec.name));
+}
+
+RvFields rv32_extract(const RvInstrSpec& spec, std::uint32_t w) {
+  RvFields f;
+  auto bits = [&](int hi, int lo) { return (w >> lo) & ((1u << (hi - lo + 1)) - 1); };
+  auto sext = [](std::uint32_t v, int width) {
+    const std::uint32_t m = 1u << (width - 1);
+    return static_cast<std::int32_t>((v ^ m) - m);
+  };
+  switch (spec.fmt) {
+    case RvFormat::R:
+      f.rd = bits(11, 7); f.rs1 = bits(19, 15); f.rs2 = bits(24, 20);
+      break;
+    case RvFormat::I:
+      f.rd = bits(11, 7); f.rs1 = bits(19, 15); f.imm = sext(bits(31, 20), 12);
+      break;
+    case RvFormat::Shamt:
+      f.rd = bits(11, 7); f.rs1 = bits(19, 15); f.shamt = bits(24, 20);
+      break;
+    case RvFormat::S:
+      f.rs1 = bits(19, 15); f.rs2 = bits(24, 20);
+      f.imm = sext((bits(31, 25) << 5) | bits(11, 7), 12);
+      break;
+    case RvFormat::B:
+      f.rs1 = bits(19, 15); f.rs2 = bits(24, 20);
+      f.imm = sext((bits(31, 31) << 12) | (bits(7, 7) << 11) | (bits(30, 25) << 5) |
+                       (bits(11, 8) << 1),
+                   13);
+      break;
+    case RvFormat::U:
+      f.rd = bits(11, 7);
+      f.imm = static_cast<std::int32_t>(w & 0xfffff000);
+      break;
+    case RvFormat::J:
+      f.rd = bits(11, 7);
+      f.imm = sext((bits(31, 31) << 20) | (bits(19, 12) << 12) | (bits(20, 20) << 11) |
+                       (bits(30, 21) << 1),
+                   21);
+      break;
+    case RvFormat::Csr:
+      f.rd = bits(11, 7); f.rs1 = bits(19, 15); f.csr = bits(31, 20);
+      break;
+    case RvFormat::CsrI:
+      f.rd = bits(11, 7); f.zimm = bits(19, 15); f.csr = bits(31, 20);
+      break;
+    case RvFormat::Fixed:
+    case RvFormat::Fence:
+      break;
+    // --- compressed ----------------------------------------------------------
+    case RvFormat::CIW:  // c.addi4spn: rd' = 8+bits(4,2), uimm scrambled
+      f.rd = 8 + bits(4, 2);
+      f.imm = static_cast<std::int32_t>((bits(12, 11) << 4) | (bits(10, 7) << 6) |
+                                        (bits(6, 6) << 2) | (bits(5, 5) << 3));
+      break;
+    case RvFormat::CL:  // c.lw
+      f.rd = 8 + bits(4, 2); f.rs1 = 8 + bits(9, 7);
+      f.imm = static_cast<std::int32_t>((bits(12, 10) << 3) | (bits(6, 6) << 2) |
+                                        (bits(5, 5) << 6));
+      break;
+    case RvFormat::CS:  // c.sw
+      f.rs2 = 8 + bits(4, 2); f.rs1 = 8 + bits(9, 7);
+      f.imm = static_cast<std::int32_t>((bits(12, 10) << 3) | (bits(6, 6) << 2) |
+                                        (bits(5, 5) << 6));
+      break;
+    case RvFormat::CI:  // c.addi / c.li
+      f.rd = bits(11, 7); f.rs1 = f.rd;
+      f.imm = sext((bits(12, 12) << 5) | bits(6, 2), 6);
+      break;
+    case RvFormat::CI16:  // c.addi16sp
+      f.rd = 2; f.rs1 = 2;
+      f.imm = sext((bits(12, 12) << 9) | (bits(6, 6) << 4) | (bits(5, 5) << 6) |
+                       (bits(4, 3) << 7) | (bits(2, 2) << 5),
+                   10);
+      break;
+    case RvFormat::CLUI:
+      f.rd = bits(11, 7);
+      f.imm = sext((bits(12, 12) << 17) | (bits(6, 2) << 12), 18);
+      break;
+    case RvFormat::CShamt:
+      if ((w & 3) == 1) {  // c.srli / c.srai operate on rd' in [9:7]
+        f.rd = 8 + bits(9, 7); f.rs1 = f.rd;
+      } else {  // c.slli on full rd
+        f.rd = bits(11, 7); f.rs1 = f.rd;
+      }
+      f.shamt = bits(6, 2);
+      break;
+    case RvFormat::CAnd:
+      f.rd = 8 + bits(9, 7); f.rs1 = f.rd;
+      f.imm = sext((bits(12, 12) << 5) | bits(6, 2), 6);
+      break;
+    case RvFormat::CA:
+      f.rd = 8 + bits(9, 7); f.rs1 = f.rd; f.rs2 = 8 + bits(4, 2);
+      break;
+    case RvFormat::CJ:
+      f.imm = sext((bits(12, 12) << 11) | (bits(11, 11) << 4) | (bits(10, 9) << 8) |
+                       (bits(8, 8) << 10) | (bits(7, 7) << 6) | (bits(6, 6) << 7) |
+                       (bits(5, 3) << 1) | (bits(2, 2) << 5),
+                   12);
+      break;
+    case RvFormat::CB:
+      f.rs1 = 8 + bits(9, 7);
+      f.imm = sext((bits(12, 12) << 8) | (bits(11, 10) << 3) | (bits(6, 5) << 6) |
+                       (bits(4, 3) << 1) | (bits(2, 2) << 5),
+                   9);
+      break;
+    case RvFormat::CR:
+      f.rd = bits(11, 7); f.rs1 = f.rd; f.rs2 = bits(6, 2);
+      break;
+    case RvFormat::CSS:  // c.swsp
+      f.rs2 = bits(6, 2);
+      f.imm = static_cast<std::int32_t>((bits(12, 9) << 2) | (bits(8, 7) << 6));
+      break;
+    case RvFormat::CLSP:  // c.lwsp
+      f.rd = bits(11, 7);
+      f.imm = static_cast<std::int32_t>((bits(12, 12) << 5) | (bits(6, 4) << 2) |
+                                        (bits(3, 2) << 6));
+      break;
+  }
+  return f;
+}
+
+}  // namespace pdat::isa

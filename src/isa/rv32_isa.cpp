@@ -1,0 +1,263 @@
+#include "isa/rv32_isa.h"
+
+namespace pdat::isa {
+namespace {
+
+std::uint32_t place(std::uint32_t v, int hi, int lo) {
+  return (v & ((1u << (hi - lo + 1)) - 1)) << lo;
+}
+
+}  // namespace
+
+std::uint32_t rv32_encode(const RvInstrSpec& spec, const RvFields& f) {
+  const auto imm = static_cast<std::uint32_t>(f.imm);
+  std::uint32_t w = spec.match;
+  switch (spec.fmt) {
+    case RvFormat::R:
+      w |= place(f.rd, 11, 7) | place(f.rs1, 19, 15) | place(f.rs2, 24, 20);
+      break;
+    case RvFormat::I:
+      w |= place(f.rd, 11, 7) | place(f.rs1, 19, 15) | place(imm, 31, 20);
+      break;
+    case RvFormat::Shamt:
+      w |= place(f.rd, 11, 7) | place(f.rs1, 19, 15) | place(f.shamt, 24, 20);
+      break;
+    case RvFormat::S:
+      w |= place(f.rs1, 19, 15) | place(f.rs2, 24, 20) | place(imm >> 5, 31, 25) |
+           place(imm, 11, 7);
+      break;
+    case RvFormat::B:
+      w |= place(f.rs1, 19, 15) | place(f.rs2, 24, 20) | place(imm >> 12, 31, 31) |
+           place(imm >> 5, 30, 25) | place(imm >> 1, 11, 8) | place(imm >> 11, 7, 7);
+      break;
+    case RvFormat::U:
+      w |= place(f.rd, 11, 7) | (imm & 0xfffff000);
+      break;
+    case RvFormat::J:
+      w |= place(f.rd, 11, 7) | place(imm >> 20, 31, 31) | place(imm >> 1, 30, 21) |
+           place(imm >> 11, 20, 20) | place(imm >> 12, 19, 12);
+      break;
+    case RvFormat::Csr:
+      w |= place(f.rd, 11, 7) | place(f.rs1, 19, 15) | place(f.csr, 31, 20);
+      break;
+    case RvFormat::CsrI:
+      w |= place(f.rd, 11, 7) | place(f.zimm, 19, 15) | place(f.csr, 31, 20);
+      break;
+    case RvFormat::Fixed:
+    case RvFormat::Fence:
+      break;
+    case RvFormat::CIW:
+      w |= place(f.rd - 8, 4, 2) | place(imm >> 4, 12, 11) | place(imm >> 6, 10, 7) |
+           place(imm >> 2, 6, 6) | place(imm >> 3, 5, 5);
+      break;
+    case RvFormat::CL:
+      w |= place(f.rd - 8, 4, 2) | place(f.rs1 - 8, 9, 7) | place(imm >> 3, 12, 10) |
+           place(imm >> 2, 6, 6) | place(imm >> 6, 5, 5);
+      break;
+    case RvFormat::CS:
+      w |= place(f.rs2 - 8, 4, 2) | place(f.rs1 - 8, 9, 7) | place(imm >> 3, 12, 10) |
+           place(imm >> 2, 6, 6) | place(imm >> 6, 5, 5);
+      break;
+    case RvFormat::CI:
+      w |= place(f.rd, 11, 7) | place(imm >> 5, 12, 12) | place(imm, 6, 2);
+      break;
+    case RvFormat::CI16:
+      w |= place(imm >> 9, 12, 12) | place(imm >> 4, 6, 6) | place(imm >> 6, 5, 5) |
+           place(imm >> 7, 4, 3) | place(imm >> 5, 2, 2);
+      break;
+    case RvFormat::CLUI:
+      w |= place(f.rd, 11, 7) | place(imm >> 17, 12, 12) | place(imm >> 12, 6, 2);
+      break;
+    case RvFormat::CShamt:
+      if ((spec.match & 3) == 1) {
+        w |= place(f.rd - 8, 9, 7);
+      } else {
+        w |= place(f.rd, 11, 7);
+      }
+      w |= place(f.shamt, 6, 2);
+      break;
+    case RvFormat::CAnd:
+      w |= place(f.rd - 8, 9, 7) | place(imm >> 5, 12, 12) | place(imm, 6, 2);
+      break;
+    case RvFormat::CA:
+      w |= place(f.rd - 8, 9, 7) | place(f.rs2 - 8, 4, 2);
+      break;
+    case RvFormat::CJ:
+      w |= place(imm >> 11, 12, 12) | place(imm >> 4, 11, 11) | place(imm >> 8, 10, 9) |
+           place(imm >> 10, 8, 8) | place(imm >> 6, 7, 7) | place(imm >> 7, 6, 6) |
+           place(imm >> 1, 5, 3) | place(imm >> 5, 2, 2);
+      break;
+    case RvFormat::CB:
+      w |= place(f.rs1 - 8, 9, 7) | place(imm >> 8, 12, 12) | place(imm >> 3, 11, 10) |
+           place(imm >> 6, 6, 5) | place(imm >> 1, 4, 3) | place(imm >> 5, 2, 2);
+      break;
+    case RvFormat::CR:
+      w |= place(f.rd, 11, 7) | place(f.rs2, 6, 2);
+      break;
+    case RvFormat::CSS:
+      w |= place(f.rs2, 6, 2) | place(imm >> 2, 12, 9) | place(imm >> 6, 8, 7);
+      break;
+    case RvFormat::CLSP:
+      w |= place(f.rd, 11, 7) | place(imm >> 5, 12, 12) | place(imm >> 2, 6, 4) |
+           place(imm >> 6, 3, 2);
+      break;
+  }
+  return w;
+}
+
+std::uint32_t rvc_expand(std::uint16_t half) {
+  const RvInstrSpec* spec = rv32_decode_spec(half);
+  if (spec == nullptr || !spec->compressed) return 0;
+  const RvFields f = rv32_extract(*spec, half);
+  RvFields g;
+  auto enc = [&](std::string_view name) { return rv32_encode(rv32_instr(name), g); };
+  const std::string_view n = spec->name;
+  if (n == "c.addi4spn") { g.rd = f.rd; g.rs1 = 2; g.imm = f.imm; return enc("addi"); }
+  if (n == "c.lw") { g.rd = f.rd; g.rs1 = f.rs1; g.imm = f.imm; return enc("lw"); }
+  if (n == "c.sw") { g.rs2 = f.rs2; g.rs1 = f.rs1; g.imm = f.imm; return enc("sw"); }
+  if (n == "c.addi") { g.rd = f.rd; g.rs1 = f.rd; g.imm = f.imm; return enc("addi"); }
+  if (n == "c.jal") { g.rd = 1; g.imm = f.imm; return enc("jal"); }
+  if (n == "c.li") { g.rd = f.rd; g.rs1 = 0; g.imm = f.imm; return enc("addi"); }
+  if (n == "c.addi16sp") { g.rd = 2; g.rs1 = 2; g.imm = f.imm; return enc("addi"); }
+  if (n == "c.lui") { g.rd = f.rd; g.imm = f.imm; return enc("lui"); }
+  if (n == "c.srli") { g.rd = f.rd; g.rs1 = f.rd; g.shamt = f.shamt; return enc("srli"); }
+  if (n == "c.srai") { g.rd = f.rd; g.rs1 = f.rd; g.shamt = f.shamt; return enc("srai"); }
+  if (n == "c.andi") { g.rd = f.rd; g.rs1 = f.rd; g.imm = f.imm; return enc("andi"); }
+  if (n == "c.sub") { g.rd = f.rd; g.rs1 = f.rd; g.rs2 = f.rs2; return enc("sub"); }
+  if (n == "c.xor") { g.rd = f.rd; g.rs1 = f.rd; g.rs2 = f.rs2; return enc("xor"); }
+  if (n == "c.or") { g.rd = f.rd; g.rs1 = f.rd; g.rs2 = f.rs2; return enc("or"); }
+  if (n == "c.and") { g.rd = f.rd; g.rs1 = f.rd; g.rs2 = f.rs2; return enc("and"); }
+  if (n == "c.j") { g.rd = 0; g.imm = f.imm; return enc("jal"); }
+  if (n == "c.beqz") { g.rs1 = f.rs1; g.rs2 = 0; g.imm = f.imm; return enc("beq"); }
+  if (n == "c.bnez") { g.rs1 = f.rs1; g.rs2 = 0; g.imm = f.imm; return enc("bne"); }
+  if (n == "c.slli") { g.rd = f.rd; g.rs1 = f.rd; g.shamt = f.shamt; return enc("slli"); }
+  if (n == "c.lwsp") { g.rd = f.rd; g.rs1 = 2; g.imm = f.imm; return enc("lw"); }
+  if (n == "c.swsp") { g.rs2 = f.rs2; g.rs1 = 2; g.imm = f.imm; return enc("sw"); }
+  if (n == "c.jr") { g.rd = 0; g.rs1 = f.rs1; g.imm = 0; return enc("jalr"); }
+  if (n == "c.jalr") { g.rd = 1; g.rs1 = f.rs1; g.imm = 0; return enc("jalr"); }
+  if (n == "c.mv") { g.rd = f.rd; g.rs1 = 0; g.rs2 = f.rs2; return enc("add"); }
+  if (n == "c.add") { g.rd = f.rd; g.rs1 = f.rd; g.rs2 = f.rs2; return enc("add"); }
+  if (n == "c.ebreak") { return rv32_instr("ebreak").match; }
+  return 0;
+}
+
+namespace {
+
+/// Predicate: masked bits of `instr` equal `match & mask`.
+NetId match_bits(synth::Builder& b, const synth::Bus& instr, std::uint32_t match,
+                 std::uint32_t mask, int width) {
+  std::vector<NetId> terms;
+  for (int i = 0; i < width; ++i) {
+    if ((mask >> i) & 1) {
+      terms.push_back(((match >> i) & 1) ? instr[static_cast<std::size_t>(i)]
+                                         : b.not_(instr[static_cast<std::size_t>(i)]));
+    }
+  }
+  return b.all(terms);
+}
+
+/// Predicate: 5-bit register field at `lo` is < 16 (RV32E).
+NetId field_lt16(synth::Builder& b, const synth::Bus& instr, int lo) {
+  return b.not_(instr[static_cast<std::size_t>(lo + 4)]);
+}
+
+/// Predicate: some bit of instr[hi:lo] is set.
+NetId field_nonzero(synth::Builder& b, const synth::Bus& instr, int hi, int lo) {
+  std::vector<NetId> bits(instr.begin() + lo, instr.begin() + hi + 1);
+  return b.any(bits);
+}
+
+}  // namespace
+
+NetId build_instr_matcher(synth::Builder& b, const synth::Bus& instr32, const RvInstrSpec& spec,
+                          bool rve) {
+  if (instr32.size() != 32) throw PdatError("matcher needs 32-bit bus");
+  const int width = spec.compressed ? 16 : 32;
+  std::vector<NetId> conj;
+  conj.push_back(match_bits(b, instr32, spec.match, spec.mask, width));
+
+  // Reserved-encoding exclusions, mirroring rv32_decode_spec.
+  if (spec.name == "c.addi4spn") conj.push_back(field_nonzero(b, instr32, 12, 5));
+  if (spec.name == "c.jr") conj.push_back(field_nonzero(b, instr32, 11, 7));
+  if (spec.name == "c.mv" || spec.name == "c.add") conj.push_back(field_nonzero(b, instr32, 6, 2));
+  if (spec.name == "c.jalr") conj.push_back(field_nonzero(b, instr32, 11, 7));
+  if (spec.name == "c.lui") {
+    // rd == 2 means c.addi16sp; exclude it so the matchers stay disjoint.
+    conj.push_back(b.not_(b.eq_const(synth::Builder::slice(instr32, 7, 5), 2)));
+  }
+  // RV32: shift amounts are 5 bits.
+  if (spec.fmt == RvFormat::Shamt) conj.push_back(b.not_(instr32[25]));
+  if (spec.fmt == RvFormat::CShamt) conj.push_back(b.not_(instr32[12]));
+
+  if (rve) {
+    switch (spec.fmt) {
+      case RvFormat::R:
+        conj.push_back(field_lt16(b, instr32, 7));
+        conj.push_back(field_lt16(b, instr32, 15));
+        conj.push_back(field_lt16(b, instr32, 20));
+        break;
+      case RvFormat::I:
+      case RvFormat::Shamt:
+      case RvFormat::Csr:
+        conj.push_back(field_lt16(b, instr32, 7));
+        conj.push_back(field_lt16(b, instr32, 15));
+        break;
+      case RvFormat::CsrI:
+        conj.push_back(field_lt16(b, instr32, 7));
+        break;
+      case RvFormat::S:
+      case RvFormat::B:
+        conj.push_back(field_lt16(b, instr32, 15));
+        conj.push_back(field_lt16(b, instr32, 20));
+        break;
+      case RvFormat::U:
+      case RvFormat::J:
+        conj.push_back(field_lt16(b, instr32, 7));
+        break;
+      case RvFormat::CR:
+        conj.push_back(field_lt16(b, instr32, 7));
+        conj.push_back(field_lt16(b, instr32, 2));
+        break;
+      case RvFormat::CI:
+      case RvFormat::CLUI:
+      case RvFormat::CLSP:
+        conj.push_back(field_lt16(b, instr32, 7));
+        break;
+      case RvFormat::CShamt:
+        if ((spec.match & 3) == 2) conj.push_back(field_lt16(b, instr32, 7));  // c.slli
+        break;
+      case RvFormat::CSS:
+        conj.push_back(field_lt16(b, instr32, 2));
+        break;
+      default:
+        break;  // prime-register formats already use x8..x15
+    }
+  }
+  return b.all(conj);
+}
+
+NetId build_subset_matcher(synth::Builder& b, const synth::Bus& instr32, const RvSubset& subset) {
+  const auto& table = rv32_instructions();
+  std::vector<NetId> any;
+  for (int idx : subset.instrs) {
+    any.push_back(build_instr_matcher(b, instr32, table[static_cast<std::size_t>(idx)],
+                                      subset.rve));
+  }
+  return b.any(any);
+}
+
+std::uint32_t sample_subset_word(const RvSubset& subset, Rng& rng) {
+  if (subset.instrs.empty()) throw PdatError("sample from empty subset");
+  const auto& table = rv32_instructions();
+  const int idx = subset.instrs[rng.below(subset.instrs.size())];
+  const RvInstrSpec& spec = table[static_cast<std::size_t>(idx)];
+  std::uint32_t w = rv32_sample(spec, rng, subset.rve);
+  if (spec.compressed) {
+    // Only the low half is decoded for a compressed instruction; the upper
+    // half of the fetched word is unconstrained.
+    w = (w & 0xffff) | (static_cast<std::uint32_t>(rng.next()) << 16);
+  }
+  return w;
+}
+
+}  // namespace pdat::isa

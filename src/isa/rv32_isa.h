@@ -1,0 +1,36 @@
+// RV32 encoding construction, compressed-instruction expansion, and
+// ISA-membership predicate circuits (the Listing-2/3 machinery of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/rv32_encoding.h"
+#include "isa/rv32_subsets.h"
+#include "synth/builder.h"
+
+namespace pdat::isa {
+
+/// Inverse of rv32_extract: builds the encoding of `spec` with the given
+/// operand fields (fields outside the format are ignored).
+std::uint32_t rv32_encode(const RvInstrSpec& spec, const RvFields& f);
+
+/// Expands a 16-bit compressed instruction to its 32-bit equivalent.
+/// Returns 0 for encodings that are not valid RV32C instructions.
+std::uint32_t rvc_expand(std::uint16_t half);
+
+/// Builds a single-net predicate "instr is a valid encoding of `spec`"
+/// over a 32-bit instruction bus (compressed instructions look only at the
+/// low half and require op != 11). When `rve`, register fields are further
+/// constrained to x0..x15.
+NetId build_instr_matcher(synth::Builder& b, const synth::Bus& instr32, const RvInstrSpec& spec,
+                          bool rve);
+
+/// OR of the matchers of every instruction in the subset — the paper's
+/// rv32i_all / unwanted assume-property (Listing 3).
+NetId build_subset_matcher(synth::Builder& b, const synth::Bus& instr32, const RvSubset& subset);
+
+/// Samples a random instruction word from the subset (used as environment
+/// stimulus during candidate-filtering simulation).
+std::uint32_t sample_subset_word(const RvSubset& subset, Rng& rng);
+
+}  // namespace pdat::isa

@@ -1,0 +1,118 @@
+#include "isa/rv32_subsets.h"
+
+#include <algorithm>
+
+#include "base/types.h"
+
+namespace pdat::isa {
+
+bool RvSubset::contains(int instr_index) const {
+  return std::find(instrs.begin(), instrs.end(), instr_index) != instrs.end();
+}
+
+bool RvSubset::contains(std::string_view instr_name) const {
+  return contains(rv32_instr_index(instr_name));
+}
+
+RvSubset RvSubset::without(std::initializer_list<std::string_view> names) const {
+  RvSubset out = *this;
+  for (std::string_view n : names) {
+    const int idx = rv32_instr_index(n);
+    out.instrs.erase(std::remove(out.instrs.begin(), out.instrs.end(), idx), out.instrs.end());
+  }
+  return out;
+}
+
+RvSubset RvSubset::with_name(std::string new_name) const {
+  RvSubset out = *this;
+  out.name = std::move(new_name);
+  return out;
+}
+
+RvSubset rv32_subset_all() {
+  RvSubset s;
+  s.name = "rv32imcz";
+  const auto& t = rv32_instructions();
+  for (std::size_t i = 0; i < t.size(); ++i) s.instrs.push_back(static_cast<int>(i));
+  return s;
+}
+
+RvSubset rv32_subset_exts(std::string name, std::initializer_list<RvExt> exts) {
+  RvSubset s;
+  s.name = std::move(name);
+  const auto& t = rv32_instructions();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (RvExt e : exts) {
+      if (t[i].ext == e) {
+        s.instrs.push_back(static_cast<int>(i));
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+RvSubset rv32_subset_named(const std::string& name) {
+  if (name == "rv32imcz") return rv32_subset_all();
+  if (name == "rv32imc")
+    return rv32_subset_exts("rv32imc", {RvExt::I, RvExt::M, RvExt::C});
+  if (name == "rv32im") return rv32_subset_exts("rv32im", {RvExt::I, RvExt::M});
+  if (name == "rv32ic") return rv32_subset_exts("rv32ic", {RvExt::I, RvExt::C});
+  if (name == "rv32i") return rv32_subset_exts("rv32i", {RvExt::I});
+  if (name == "rv32e") {
+    RvSubset s = rv32_subset_exts("rv32e", {RvExt::I});
+    s.rve = true;
+    return s;
+  }
+  if (name == "rv32ec") {
+    RvSubset s = rv32_subset_exts("rv32ec", {RvExt::I, RvExt::C});
+    s.rve = true;
+    return s;
+  }
+  throw PdatError("unknown subset name: " + name);
+}
+
+RvSubset rv32_subset_from_names(std::string name, const std::vector<std::string>& mnemonics) {
+  RvSubset s;
+  s.name = std::move(name);
+  for (const auto& m : mnemonics) s.instrs.push_back(rv32_instr_index(m));
+  std::sort(s.instrs.begin(), s.instrs.end());
+  s.instrs.erase(std::unique(s.instrs.begin(), s.instrs.end()), s.instrs.end());
+  return s;
+}
+
+RvSubset rv32_subset_reduced_addressing() {
+  RvSubset s = rv32_subset_named("rv32i").without(
+      {"add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and"});
+  s.name = "reduced-addressing";
+  return s;
+}
+
+RvSubset rv32_subset_safety_critical() {
+  RvSubset s = rv32_subset_named("rv32i").without({"jalr", "auipc", "fence", "ecall", "ebreak"});
+  s.name = "safety-critical";
+  return s;
+}
+
+RvSubset rv32_subset_no_parallelism() {
+  RvSubset s = rv32_subset_named("rv32i").without({"sll", "srl", "sra", "slli", "srli", "srai",
+                                                   "and", "or", "xor", "andi", "ori", "xori"});
+  s.name = "no-parallelism";
+  return s;
+}
+
+RvSubset rv32_subset_aligned() {
+  RvSubset s = rv32_subset_named("rv32i").without({"lb", "lh", "lbu", "lhu", "sb", "sh"});
+  s.name = "aligned";
+  s.aligned_mem = true;
+  return s;
+}
+
+RvSubset rv32_subset_risc16() {
+  RvSubset s = rv32_subset_from_names(
+      "risc16", {"c.add", "c.addi", "c.and", "c.xor", "c.lui", "c.lw", "c.sw", "c.beqz",
+                 "c.jalr"});
+  return s;
+}
+
+}  // namespace pdat::isa

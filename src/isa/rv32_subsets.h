@@ -1,0 +1,47 @@
+// ISA-subset definitions for the reduced-ISA experiments (paper Figs. 5-7).
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "isa/rv32_encoding.h"
+
+namespace pdat::isa {
+
+struct RvSubset {
+  std::string name;
+  std::vector<int> instrs;    // indices into rv32_instructions()
+  bool rve = false;           // registers restricted to x0..x15
+  bool aligned_mem = false;   // extra restriction: word-aligned data accesses
+
+  bool contains(int instr_index) const;
+  bool contains(std::string_view instr_name) const;
+  std::size_t size() const { return instrs.size(); }
+
+  /// Set algebra used to build custom variants.
+  RvSubset without(std::initializer_list<std::string_view> names) const;
+  RvSubset with_name(std::string new_name) const;
+};
+
+/// Every instruction Ibex supports: RV32IMC + Zicsr + Zifencei ("Ibex ISA").
+RvSubset rv32_subset_all();
+
+/// Subset containing exactly the given extensions.
+RvSubset rv32_subset_exts(std::string name, std::initializer_list<RvExt> exts);
+
+/// The named standard variants used across Figure 5/7:
+/// "rv32imcz", "rv32imc", "rv32im", "rv32ic", "rv32i", "rv32e", "rv32ec".
+RvSubset rv32_subset_named(const std::string& name);
+
+/// Builds a subset from explicit mnemonics.
+RvSubset rv32_subset_from_names(std::string name, const std::vector<std::string>& mnemonics);
+
+/// Figure 5 (right) special variants.
+RvSubset rv32_subset_reduced_addressing();  // RV32I minus R-type instructions
+RvSubset rv32_subset_safety_critical();     // RV32I minus JALR/AUIPC/FENCE/ECALL/EBREAK
+RvSubset rv32_subset_no_parallelism();      // RV32I minus bit-parallel logic/shift ops
+RvSubset rv32_subset_aligned();             // RV32I word-aligned memory accesses only
+RvSubset rv32_subset_risc16();              // the 9-instruction RiSC-16-like c-subset
+
+}  // namespace pdat::isa

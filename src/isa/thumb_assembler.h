@@ -1,0 +1,22 @@
+// Minimal two-pass ARMv6-M (Thumb) assembler for the MiBench-like thumb
+// kernels: labels, `#imm` operands, `[rn, #off]` addressing, reglists,
+// conditional branches, bl, and a `li rd, imm32` pseudo that expands to a
+// movs/lsls/adds byte-building sequence (no literal pools needed).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pdat::isa {
+
+struct ThumbProgram {
+  std::vector<std::uint16_t> halves;
+  std::map<std::string, std::uint32_t> labels;          // label -> byte address
+  std::map<std::string, int> static_profile;            // canonical spec names
+};
+
+ThumbProgram assemble_thumb(const std::string& source);
+
+}  // namespace pdat::isa

@@ -1,0 +1,373 @@
+#include "isa/thumb_encoding.h"
+
+#include <unordered_map>
+
+#include "base/types.h"
+
+namespace pdat::isa {
+namespace {
+
+std::vector<ThumbInstrSpec> make_table() {
+  std::vector<ThumbInstrSpec> t;
+  auto add = [&](std::string_view name, ThumbFormat fmt, std::uint32_t match, std::uint32_t mask,
+                 bool wide = false) {
+    t.push_back(ThumbInstrSpec{name, fmt, match, mask, wide});
+  };
+
+  // Shift (immediate). lsl #0 is MOV-reg in the manual; we keep it inside
+  // lsls for decode simplicity.
+  add("lsls", ThumbFormat::ShiftImm, 0x0000, 0xf800);
+  add("lsrs", ThumbFormat::ShiftImm, 0x0800, 0xf800);
+  add("asrs", ThumbFormat::ShiftImm, 0x1000, 0xf800);
+  // Add/sub register + 3-bit immediate.
+  add("adds", ThumbFormat::AddSubReg, 0x1800, 0xfe00);
+  add("subs", ThumbFormat::AddSubReg, 0x1a00, 0xfe00);
+  add("adds.i3", ThumbFormat::AddSubImm3, 0x1c00, 0xfe00);
+  add("subs.i3", ThumbFormat::AddSubImm3, 0x1e00, 0xfe00);
+  // Move/compare/add/subtract 8-bit immediate.
+  add("movs.i8", ThumbFormat::Imm8, 0x2000, 0xf800);
+  add("cmp.i8", ThumbFormat::Imm8, 0x2800, 0xf800);
+  add("adds.i8", ThumbFormat::Imm8, 0x3000, 0xf800);
+  add("subs.i8", ThumbFormat::Imm8, 0x3800, 0xf800);
+  // Data processing (register).
+  add("ands", ThumbFormat::DpReg, 0x4000, 0xffc0);
+  add("eors", ThumbFormat::DpReg, 0x4040, 0xffc0);
+  add("lsls.r", ThumbFormat::DpReg, 0x4080, 0xffc0);
+  add("lsrs.r", ThumbFormat::DpReg, 0x40c0, 0xffc0);
+  add("asrs.r", ThumbFormat::DpReg, 0x4100, 0xffc0);
+  add("adcs", ThumbFormat::DpReg, 0x4140, 0xffc0);
+  add("sbcs", ThumbFormat::DpReg, 0x4180, 0xffc0);
+  add("rors", ThumbFormat::DpReg, 0x41c0, 0xffc0);
+  add("tst", ThumbFormat::DpReg, 0x4200, 0xffc0);
+  add("rsbs", ThumbFormat::DpReg, 0x4240, 0xffc0);
+  add("cmp.r", ThumbFormat::DpReg, 0x4280, 0xffc0);
+  add("cmn", ThumbFormat::DpReg, 0x42c0, 0xffc0);
+  add("orrs", ThumbFormat::DpReg, 0x4300, 0xffc0);
+  add("muls", ThumbFormat::DpReg, 0x4340, 0xffc0);
+  add("bics", ThumbFormat::DpReg, 0x4380, 0xffc0);
+  add("mvns", ThumbFormat::DpReg, 0x43c0, 0xffc0);
+  // High-register ops and branches-by-register.
+  add("add.hi", ThumbFormat::HiReg, 0x4400, 0xff00);
+  add("cmp.hi", ThumbFormat::HiReg, 0x4500, 0xff00);
+  add("mov.hi", ThumbFormat::HiReg, 0x4600, 0xff00);
+  add("bx", ThumbFormat::BxBlx, 0x4700, 0xff87);
+  add("blx", ThumbFormat::BxBlx, 0x4780, 0xff87);
+  // PC-relative load.
+  add("ldr.lit", ThumbFormat::LdrLit, 0x4800, 0xf800);
+  // Load/store register offset.
+  add("str.r", ThumbFormat::LsReg, 0x5000, 0xfe00);
+  add("strh.r", ThumbFormat::LsReg, 0x5200, 0xfe00);
+  add("strb.r", ThumbFormat::LsReg, 0x5400, 0xfe00);
+  add("ldrsb", ThumbFormat::LsReg, 0x5600, 0xfe00);
+  add("ldr.r", ThumbFormat::LsReg, 0x5800, 0xfe00);
+  add("ldrh.r", ThumbFormat::LsReg, 0x5a00, 0xfe00);
+  add("ldrb.r", ThumbFormat::LsReg, 0x5c00, 0xfe00);
+  add("ldrsh", ThumbFormat::LsReg, 0x5e00, 0xfe00);
+  // Load/store immediate offset.
+  add("str.i", ThumbFormat::LsImm, 0x6000, 0xf800);
+  add("ldr.i", ThumbFormat::LsImm, 0x6800, 0xf800);
+  add("strb.i", ThumbFormat::LsImm, 0x7000, 0xf800);
+  add("ldrb.i", ThumbFormat::LsImm, 0x7800, 0xf800);
+  add("strh.i", ThumbFormat::LsImm, 0x8000, 0xf800);
+  add("ldrh.i", ThumbFormat::LsImm, 0x8800, 0xf800);
+  // SP-relative load/store.
+  add("str.sp", ThumbFormat::LsSp, 0x9000, 0xf800);
+  add("ldr.sp", ThumbFormat::LsSp, 0x9800, 0xf800);
+  // Address generation.
+  add("adr", ThumbFormat::AdrSp, 0xa000, 0xf800);
+  add("add.spi8", ThumbFormat::AdrSp, 0xa800, 0xf800);
+  add("add.sp7", ThumbFormat::SpAdj, 0xb000, 0xff80);
+  add("sub.sp7", ThumbFormat::SpAdj, 0xb080, 0xff80);
+  // Extension.
+  add("sxth", ThumbFormat::Extend, 0xb200, 0xffc0);
+  add("sxtb", ThumbFormat::Extend, 0xb240, 0xffc0);
+  add("uxth", ThumbFormat::Extend, 0xb280, 0xffc0);
+  add("uxtb", ThumbFormat::Extend, 0xb2c0, 0xffc0);
+  // Push/pop.
+  add("push", ThumbFormat::PushPop, 0xb400, 0xfe00);
+  add("pop", ThumbFormat::PushPop, 0xbc00, 0xfe00);
+  // CPS.
+  add("cps", ThumbFormat::Cps, 0xb662, 0xffef);
+  // Byte reversal.
+  add("rev", ThumbFormat::Rev, 0xba00, 0xffc0);
+  add("rev16", ThumbFormat::Rev, 0xba40, 0xffc0);
+  add("revsh", ThumbFormat::Rev, 0xbac0, 0xffc0);
+  // Breakpoint + hints.
+  add("bkpt", ThumbFormat::Imm8Only, 0xbe00, 0xff00);
+  add("nop", ThumbFormat::Hint, 0xbf00, 0xffff);
+  add("yield", ThumbFormat::Hint, 0xbf10, 0xffff);
+  add("wfe", ThumbFormat::Hint, 0xbf20, 0xffff);
+  add("wfi", ThumbFormat::Hint, 0xbf30, 0xffff);
+  add("sev", ThumbFormat::Hint, 0xbf40, 0xffff);
+  // Multiple load/store.
+  add("stm", ThumbFormat::Stm, 0xc000, 0xf800);
+  add("ldm", ThumbFormat::Stm, 0xc800, 0xf800);
+  // Branches / system.
+  add("b.cond", ThumbFormat::CondBranch, 0xd000, 0xf000);
+  add("udf", ThumbFormat::Imm8Only, 0xde00, 0xff00);
+  add("svc", ThumbFormat::Imm8Only, 0xdf00, 0xff00);
+  add("b", ThumbFormat::Branch, 0xe000, 0xf800);
+  // 32-bit encodings (value = first | second << 16).
+  add("bl", ThumbFormat::Bl, 0xd000f000, 0xd000f800, true);
+  add("msr", ThumbFormat::MrsMsr, 0x8800f380, 0xff00fbf0, true);
+  add("mrs", ThumbFormat::MrsMsr, 0x8000f3ef, 0xf000ffff, true);
+  add("dmb", ThumbFormat::Barrier, 0x8f50f3bf, 0xfff0ffff, true);
+  add("dsb", ThumbFormat::Barrier, 0x8f40f3bf, 0xfff0ffff, true);
+  add("isb", ThumbFormat::Barrier, 0x8f60f3bf, 0xfff0ffff, true);
+  return t;
+}
+
+}  // namespace
+
+const std::vector<ThumbInstrSpec>& thumb_instructions() {
+  static const std::vector<ThumbInstrSpec> table = make_table();
+  return table;
+}
+
+int thumb_instr_index(std::string_view name) {
+  static const std::unordered_map<std::string_view, int> index = [] {
+    std::unordered_map<std::string_view, int> m;
+    const auto& t = thumb_instructions();
+    for (std::size_t i = 0; i < t.size(); ++i) m.emplace(t[i].name, static_cast<int>(i));
+    return m;
+  }();
+  auto it = index.find(name);
+  if (it == index.end()) throw PdatError("unknown thumb instruction: " + std::string(name));
+  return it->second;
+}
+
+const ThumbInstrSpec& thumb_instr(std::string_view name) {
+  return thumb_instructions()[static_cast<std::size_t>(thumb_instr_index(name))];
+}
+
+bool thumb_is_wide_prefix(std::uint16_t half) {
+  return (half & 0xe000) == 0xe000 && (half & 0x1800) != 0;
+}
+
+const ThumbInstrSpec* thumb_decode(std::uint16_t first, std::uint16_t second) {
+  const bool wide = thumb_is_wide_prefix(first);
+  const std::uint32_t word =
+      wide ? (static_cast<std::uint32_t>(first) | (static_cast<std::uint32_t>(second) << 16))
+           : first;
+  for (const auto& spec : thumb_instructions()) {
+    if (spec.wide != wide) continue;
+    if (!spec.matches(word)) continue;
+    // Reserved/odd cases.
+    if (spec.name == "b.cond") {
+      const unsigned cond = (first >> 8) & 0xf;
+      if (cond >= 14) continue;  // 1110 -> udf, 1111 -> svc (later entries)
+    }
+    if (spec.name == "add.hi" || spec.name == "cmp.hi" || spec.name == "mov.hi") {
+      // cmp.hi requires both-high operands in the manual only for cmp;
+      // accept all encodings uniformly.
+    }
+    return &spec;
+  }
+  return nullptr;
+}
+
+std::uint32_t thumb_sample(const ThumbInstrSpec& spec, Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::uint32_t w = static_cast<std::uint32_t>(rng.next());
+    if (!spec.wide) w &= 0xffff;
+    w = (w & ~spec.mask) | spec.match;
+    if (spec.fmt == ThumbFormat::CondBranch) {
+      // Keep cond < 14.
+      const unsigned cond = (w >> 8) & 0xf;
+      if (cond >= 14) continue;
+    }
+    if (spec.fmt == ThumbFormat::BxBlx) {
+      // SBZ bits already in mask; nothing more.
+    }
+    if (!spec.wide) {
+      const ThumbInstrSpec* dec = thumb_decode(static_cast<std::uint16_t>(w));
+      if (dec == nullptr || dec->name != spec.name) continue;
+    }
+    return w;
+  }
+  throw PdatError("thumb_sample failed for " + std::string(spec.name));
+}
+
+ThumbFields thumb_extract(const ThumbInstrSpec& spec, std::uint32_t w) {
+  ThumbFields f;
+  auto bits = [&](int hi, int lo) { return (w >> lo) & ((1u << (hi - lo + 1)) - 1); };
+  auto sext = [](std::uint32_t v, int width) {
+    const std::uint32_t m = 1u << (width - 1);
+    return static_cast<std::int32_t>((v ^ m) - m);
+  };
+  switch (spec.fmt) {
+    case ThumbFormat::ShiftImm:
+      f.rd = bits(2, 0); f.rm = bits(5, 3); f.imm = static_cast<std::int32_t>(bits(10, 6));
+      break;
+    case ThumbFormat::AddSubReg:
+      f.rd = bits(2, 0); f.rn = bits(5, 3); f.rm = bits(8, 6);
+      break;
+    case ThumbFormat::AddSubImm3:
+      f.rd = bits(2, 0); f.rn = bits(5, 3); f.imm = static_cast<std::int32_t>(bits(8, 6));
+      break;
+    case ThumbFormat::Imm8:
+      f.rd = bits(10, 8); f.rn = f.rd; f.imm = static_cast<std::int32_t>(bits(7, 0));
+      break;
+    case ThumbFormat::DpReg:
+      f.rd = bits(2, 0); f.rn = f.rd; f.rm = bits(5, 3);
+      break;
+    case ThumbFormat::HiReg:
+      f.rd = bits(2, 0) | (bits(7, 7) << 3); f.rn = f.rd; f.rm = bits(6, 3);
+      break;
+    case ThumbFormat::BxBlx:
+      f.rm = bits(6, 3);
+      break;
+    case ThumbFormat::LdrLit:
+      f.rt = bits(10, 8); f.imm = static_cast<std::int32_t>(bits(7, 0) * 4);
+      break;
+    case ThumbFormat::LsReg:
+      f.rt = bits(2, 0); f.rn = bits(5, 3); f.rm = bits(8, 6);
+      break;
+    case ThumbFormat::LsImm: {
+      f.rt = bits(2, 0); f.rn = bits(5, 3);
+      unsigned scale = 2;  // words
+      if ((w & 0xf000) == 0x7000) scale = 0;           // bytes
+      else if ((w & 0xf000) == 0x8000) scale = 1;      // halfwords
+      f.imm = static_cast<std::int32_t>(bits(10, 6) << scale);
+      break;
+    }
+    case ThumbFormat::LsSp:
+      f.rt = bits(10, 8); f.imm = static_cast<std::int32_t>(bits(7, 0) * 4);
+      break;
+    case ThumbFormat::AdrSp:
+      f.rd = bits(10, 8); f.imm = static_cast<std::int32_t>(bits(7, 0) * 4);
+      break;
+    case ThumbFormat::SpAdj:
+      f.imm = static_cast<std::int32_t>(bits(6, 0) * 4);
+      break;
+    case ThumbFormat::Extend:
+    case ThumbFormat::Rev:
+      f.rd = bits(2, 0); f.rm = bits(5, 3);
+      break;
+    case ThumbFormat::PushPop:
+      f.reglist = bits(7, 0) | (bits(8, 8) << 8);  // bit 8 = LR (push) / PC (pop)
+      break;
+    case ThumbFormat::Stm:
+      f.rn = bits(10, 8); f.reglist = bits(7, 0);
+      break;
+    case ThumbFormat::CondBranch:
+      f.cond = bits(11, 8);
+      f.imm = sext(bits(7, 0), 8) * 2;
+      break;
+    case ThumbFormat::Branch:
+      f.imm = sext(bits(10, 0), 11) * 2;
+      break;
+    case ThumbFormat::Imm8Only:
+      f.imm = static_cast<std::int32_t>(bits(7, 0));
+      break;
+    case ThumbFormat::Hint:
+    case ThumbFormat::Cps:
+    case ThumbFormat::Barrier:
+    case ThumbFormat::MrsMsr:
+      break;
+    case ThumbFormat::Bl: {
+      const std::uint32_t s = bits(10, 10);
+      const std::uint32_t imm10 = bits(9, 0);
+      const std::uint32_t j1 = bits(29, 29);
+      const std::uint32_t j2 = bits(27, 27);
+      const std::uint32_t imm11 = bits(26, 16);
+      const std::uint32_t i1 = (~(j1 ^ s)) & 1;
+      const std::uint32_t i2 = (~(j2 ^ s)) & 1;
+      const std::uint32_t raw =
+          (s << 24) | (i1 << 23) | (i2 << 22) | (imm10 << 12) | (imm11 << 1);
+      f.imm = sext(raw, 25);
+      break;
+    }
+  }
+  return f;
+}
+
+std::uint32_t thumb_encode(const ThumbInstrSpec& spec, const ThumbFields& f) {
+  std::uint32_t w = spec.match;
+  const auto imm = static_cast<std::uint32_t>(f.imm);
+  auto place = [](std::uint32_t v, int hi, int lo) {
+    return (v & ((1u << (hi - lo + 1)) - 1)) << lo;
+  };
+  switch (spec.fmt) {
+    case ThumbFormat::ShiftImm:
+      w |= place(f.rd, 2, 0) | place(f.rm, 5, 3) | place(imm, 10, 6);
+      break;
+    case ThumbFormat::AddSubReg:
+      w |= place(f.rd, 2, 0) | place(f.rn, 5, 3) | place(f.rm, 8, 6);
+      break;
+    case ThumbFormat::AddSubImm3:
+      w |= place(f.rd, 2, 0) | place(f.rn, 5, 3) | place(imm, 8, 6);
+      break;
+    case ThumbFormat::Imm8:
+      w |= place(f.rd, 10, 8) | place(imm, 7, 0);
+      break;
+    case ThumbFormat::DpReg:
+      w |= place(f.rd, 2, 0) | place(f.rm, 5, 3);
+      break;
+    case ThumbFormat::HiReg:
+      w |= place(f.rd, 2, 0) | place(f.rd >> 3, 7, 7) | place(f.rm, 6, 3);
+      break;
+    case ThumbFormat::BxBlx:
+      w |= place(f.rm, 6, 3);
+      break;
+    case ThumbFormat::LdrLit:
+    case ThumbFormat::LsSp:
+      w |= place(f.rt, 10, 8) | place(imm / 4, 7, 0);
+      break;
+    case ThumbFormat::AdrSp:
+      w |= place(f.rd, 10, 8) | place(imm / 4, 7, 0);
+      break;
+    case ThumbFormat::LsReg:
+      w |= place(f.rt, 2, 0) | place(f.rn, 5, 3) | place(f.rm, 8, 6);
+      break;
+    case ThumbFormat::LsImm: {
+      unsigned scale = 2;
+      if ((spec.match & 0xf000) == 0x7000) scale = 0;
+      else if ((spec.match & 0xf000) == 0x8000) scale = 1;
+      w |= place(f.rt, 2, 0) | place(f.rn, 5, 3) | place(imm >> scale, 10, 6);
+      break;
+    }
+    case ThumbFormat::SpAdj:
+      w |= place(imm / 4, 6, 0);
+      break;
+    case ThumbFormat::Extend:
+    case ThumbFormat::Rev:
+      w |= place(f.rd, 2, 0) | place(f.rm, 5, 3);
+      break;
+    case ThumbFormat::PushPop:
+      w |= place(f.reglist, 7, 0) | place(f.reglist >> 8, 8, 8);
+      break;
+    case ThumbFormat::Stm:
+      w |= place(f.rn, 10, 8) | place(f.reglist, 7, 0);
+      break;
+    case ThumbFormat::CondBranch:
+      w |= place(f.cond, 11, 8) | place(imm >> 1, 7, 0);
+      break;
+    case ThumbFormat::Branch:
+      w |= place(imm >> 1, 10, 0);
+      break;
+    case ThumbFormat::Imm8Only:
+      w |= place(imm, 7, 0);
+      break;
+    case ThumbFormat::Hint:
+    case ThumbFormat::Cps:
+    case ThumbFormat::Barrier:
+    case ThumbFormat::MrsMsr:
+      break;
+    case ThumbFormat::Bl: {
+      const std::uint32_t s = (imm >> 24) & 1;
+      const std::uint32_t i1 = (imm >> 23) & 1;
+      const std::uint32_t i2 = (imm >> 22) & 1;
+      const std::uint32_t imm10 = (imm >> 12) & 0x3ff;
+      const std::uint32_t imm11 = (imm >> 1) & 0x7ff;
+      const std::uint32_t j1 = (~(i1 ^ s)) & 1;
+      const std::uint32_t j2 = (~(i2 ^ s)) & 1;
+      w |= place(s, 10, 10) | place(imm10, 9, 0) | place(j1, 29, 29) | place(j2, 27, 27) |
+           place(imm11, 26, 16);
+      break;
+    }
+  }
+  return w;
+}
+
+}  // namespace pdat::isa

@@ -1,0 +1,87 @@
+// ARMv6-M (Thumb) instruction encodings — the Cortex-M0 ISA surface.
+//
+// All instructions are 16-bit except BL / DMB / DSB / ISB / MRS / MSR,
+// which are two-halfword (32-bit) encodings. Wide instructions are
+// described by match/mask pairs over the 32-bit value
+// (first_halfword | second_halfword << 16), matching their little-endian
+// memory layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace pdat::isa {
+
+enum class ThumbFormat : std::uint8_t {
+  ShiftImm,   // op Rd, Rm, #imm5
+  AddSubReg,  // op Rd, Rn, Rm
+  AddSubImm3, // op Rd, Rn, #imm3
+  Imm8,       // op Rd(n), #imm8 (mov/cmp/add/sub)
+  DpReg,      // op Rdn, Rm (data processing register)
+  HiReg,      // add/cmp/mov with high registers (DN:Rdn, Rm)
+  BxBlx,      // bx/blx Rm
+  LdrLit,     // ldr Rt, [pc, #imm8*4]
+  LsReg,      // op Rt, [Rn, Rm]
+  LsImm,      // op Rt, [Rn, #imm5*scale]
+  LsSp,       // op Rt, [sp, #imm8*4]
+  AdrSp,      // adr/add Rd, sp|pc, #imm8*4
+  SpAdj,      // add/sub sp, #imm7*4
+  Extend,     // sxth/sxtb/uxth/uxtb Rd, Rm
+  Rev,        // rev/rev16/revsh Rd, Rm
+  PushPop,    // push/pop {reglist, lr/pc}
+  Stm,        // stm/ldm Rn!, {reglist}
+  CondBranch, // b<cond> #imm8*2
+  Branch,     // b #imm11*2
+  Imm8Only,   // bkpt/svc/udf #imm8
+  Hint,       // nop/yield/wfe/wfi/sev
+  Cps,        // cpsie/cpsid i
+  Bl,         // bl #imm24 (wide)
+  Barrier,    // dmb/dsb/isb (wide)
+  MrsMsr,     // mrs/msr (wide)
+};
+
+struct ThumbInstrSpec {
+  std::string_view name;
+  ThumbFormat fmt;
+  std::uint32_t match;
+  std::uint32_t mask;
+  bool wide = false;
+
+  bool matches(std::uint32_t word) const {
+    const std::uint32_t w = wide ? word : (word & 0xffff);
+    return (w & mask) == match;
+  }
+};
+
+/// Full ARMv6-M table (~81 instructions; the paper counts 83 at a slightly
+/// different mnemonic granularity — see EXPERIMENTS.md).
+const std::vector<ThumbInstrSpec>& thumb_instructions();
+const ThumbInstrSpec& thumb_instr(std::string_view name);
+int thumb_instr_index(std::string_view name);
+
+/// Decodes the instruction starting with halfword `first` (pass the
+/// following halfword in `second` for wide encodings). nullptr = UNDEFINED.
+const ThumbInstrSpec* thumb_decode(std::uint16_t first, std::uint16_t second = 0);
+
+/// True when `half` is the first halfword of a 32-bit encoding.
+bool thumb_is_wide_prefix(std::uint16_t half);
+
+/// Random valid encoding; wide instructions return the full 32-bit value.
+std::uint32_t thumb_sample(const ThumbInstrSpec& spec, Rng& rng);
+
+struct ThumbFields {
+  unsigned rd = 0, rn = 0, rm = 0, rt = 0;
+  std::int32_t imm = 0;
+  unsigned reglist = 0;
+  unsigned cond = 0;
+};
+ThumbFields thumb_extract(const ThumbInstrSpec& spec, std::uint32_t word);
+
+/// Inverse of thumb_extract for the fields the format uses.
+std::uint32_t thumb_encode(const ThumbInstrSpec& spec, const ThumbFields& f);
+
+}  // namespace pdat::isa

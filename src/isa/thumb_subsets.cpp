@@ -1,0 +1,125 @@
+#include "isa/thumb_subsets.h"
+
+#include <algorithm>
+
+#include "base/types.h"
+
+namespace pdat::isa {
+
+bool ThumbSubset::contains(std::string_view instr_name) const {
+  const int idx = thumb_instr_index(instr_name);
+  return std::find(instrs.begin(), instrs.end(), idx) != instrs.end();
+}
+
+bool ThumbSubset::has_wide() const {
+  for (int i : instrs) {
+    if (thumb_instructions()[static_cast<std::size_t>(i)].wide) return true;
+  }
+  return false;
+}
+
+ThumbSubset ThumbSubset::without(std::initializer_list<std::string_view> names) const {
+  ThumbSubset out = *this;
+  for (std::string_view n : names) {
+    const int idx = thumb_instr_index(n);
+    out.instrs.erase(std::remove(out.instrs.begin(), out.instrs.end(), idx), out.instrs.end());
+  }
+  return out;
+}
+
+ThumbSubset thumb_subset_all() {
+  ThumbSubset s;
+  s.name = "armv6m";
+  for (std::size_t i = 0; i < thumb_instructions().size(); ++i)
+    s.instrs.push_back(static_cast<int>(i));
+  return s;
+}
+
+ThumbSubset thumb_subset_interesting() {
+  ThumbSubset s = thumb_subset_all().without(
+      {"muls", "sev", "wfe", "wfi", "yield", "cps", "bl", "msr", "mrs", "dmb", "dsb", "isb"});
+  s.name = "interesting";
+  return s;
+}
+
+ThumbSubset thumb_subset_from_names(std::string name, const std::vector<std::string>& mnemonics) {
+  ThumbSubset s;
+  s.name = std::move(name);
+  for (const auto& m : mnemonics) s.instrs.push_back(thumb_instr_index(m));
+  std::sort(s.instrs.begin(), s.instrs.end());
+  s.instrs.erase(std::unique(s.instrs.begin(), s.instrs.end()), s.instrs.end());
+  return s;
+}
+
+namespace {
+
+NetId match_bits16(synth::Builder& b, const synth::Bus& half, std::uint32_t match,
+                   std::uint32_t mask) {
+  std::vector<NetId> terms;
+  for (int i = 0; i < 16; ++i) {
+    if ((mask >> i) & 1) {
+      terms.push_back(((match >> i) & 1) ? half[static_cast<std::size_t>(i)]
+                                         : b.not_(half[static_cast<std::size_t>(i)]));
+    }
+  }
+  return b.all(terms);
+}
+
+}  // namespace
+
+NetId build_thumb_halfword_matcher(synth::Builder& b, const synth::Bus& half16,
+                                   const ThumbSubset& subset) {
+  if (half16.size() != 16) throw PdatError("thumb matcher needs 16 bits");
+  std::vector<NetId> any;
+  bool wide = false;
+  for (int idx : subset.instrs) {
+    const auto& spec = thumb_instructions()[static_cast<std::size_t>(idx)];
+    if (spec.wide) {
+      wide = true;
+      // First halfword pattern of this wide encoding.
+      any.push_back(match_bits16(b, half16, spec.match & 0xffff, spec.mask & 0xffff));
+      continue;
+    }
+    NetId m = match_bits16(b, half16, spec.match, spec.mask);
+    if (spec.name == "b.cond") {
+      // Exclude cond = 1110/1111 (udf/svc encodings).
+      const synth::Bus cond = synth::Builder::slice(half16, 8, 4);
+      m = b.and_(m, b.not_(b.and_(cond[3], b.and_(cond[2], cond[1]))));
+    }
+    any.push_back(m);
+  }
+  if (wide) {
+    // A second halfword of any allowed wide encoding may also appear in the
+    // fetch stream; a stateless port constraint cannot correlate it with
+    // its prefix, so the union of second-half patterns is admitted.
+    for (int idx : subset.instrs) {
+      const auto& spec = thumb_instructions()[static_cast<std::size_t>(idx)];
+      if (!spec.wide) continue;
+      any.push_back(match_bits16(b, half16, (spec.match >> 16) & 0xffff,
+                                 (spec.mask >> 16) & 0xffff));
+    }
+  }
+  return b.any(any);
+}
+
+std::uint16_t sample_thumb_halfword(const ThumbSubset& subset, Rng& rng,
+                                    std::uint32_t& pending_second, bool& has_pending) {
+  if (has_pending) {
+    has_pending = false;
+    return static_cast<std::uint16_t>(pending_second);
+  }
+  const auto& table = thumb_instructions();
+  for (int tries = 0; tries < 64; ++tries) {
+    const int idx = subset.instrs[rng.below(subset.instrs.size())];
+    const auto& spec = table[static_cast<std::size_t>(idx)];
+    const std::uint32_t w = thumb_sample(spec, rng);
+    if (spec.wide) {
+      pending_second = w >> 16;
+      has_pending = true;
+    }
+    return static_cast<std::uint16_t>(w);
+  }
+  throw PdatError("sample_thumb_halfword failed");
+}
+
+}  // namespace pdat::isa

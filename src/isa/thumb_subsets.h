@@ -1,0 +1,48 @@
+// ARMv6-M ISA subsets and halfword-stream constraints (paper §VII-B).
+//
+// The Cortex-M0 netlist is obfuscated, so only *port-based* constraints are
+// available: every fetched halfword must be either a 16-bit instruction of
+// the subset, the first halfword of an allowed 32-bit encoding, or a
+// plausible second halfword. This is deliberately weaker than a
+// cutpoint-based constraint — reproducing the paper's observation that the
+// MiBench-All M0 variant barely improves on the full-ISA variant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/thumb_encoding.h"
+#include "synth/builder.h"
+
+namespace pdat::isa {
+
+struct ThumbSubset {
+  std::string name;
+  std::vector<int> instrs;  // indices into thumb_instructions()
+
+  bool contains(std::string_view instr_name) const;
+  std::size_t size() const { return instrs.size(); }
+  bool has_wide() const;
+  ThumbSubset without(std::initializer_list<std::string_view> names) const;
+};
+
+/// Full ARMv6-M.
+ThumbSubset thumb_subset_all();
+
+/// The paper's "interesting subset": ARMv6-M minus the multiply, the
+/// hint/signaling instructions, and every 32-bit encoding — all remaining
+/// instructions are two-byte aligned.
+ThumbSubset thumb_subset_interesting();
+
+ThumbSubset thumb_subset_from_names(std::string name, const std::vector<std::string>& mnemonics);
+
+/// Predicate over one fetched halfword (port-based constraint).
+NetId build_thumb_halfword_matcher(synth::Builder& b, const synth::Bus& half16,
+                                   const ThumbSubset& subset);
+
+/// Samples a halfword stream element. The driver must alternate first/second
+/// halves for wide encodings; `pending_second` carries that state.
+std::uint16_t sample_thumb_halfword(const ThumbSubset& subset, Rng& rng,
+                                    std::uint32_t& pending_second, bool& has_pending);
+
+}  // namespace pdat::isa

@@ -1,0 +1,79 @@
+// RV32IMC+Zicsr instruction-set simulator — the golden model used to
+// validate the gate-level cores by trace comparison, to run the MiBench-like
+// workloads, and to collect dynamic instruction profiles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/rv32_encoding.h"
+
+namespace pdat::iss {
+
+class Rv32Iss {
+ public:
+  explicit Rv32Iss(std::size_t mem_bytes = 1 << 20);
+
+  /// Loads 32-bit words at a byte address.
+  void load_words(std::uint32_t addr, const std::vector<std::uint32_t>& words);
+
+  void reset(std::uint32_t pc = 0);
+
+  /// Executes one instruction. Returns false when halted (ebreak/ecall or an
+  /// illegal instruction).
+  bool step();
+
+  /// Runs until halt or the instruction limit; returns instructions retired.
+  std::uint64_t run(std::uint64_t max_instructions);
+
+  // State access.
+  std::uint32_t pc() const { return pc_; }
+  std::uint32_t reg(unsigned i) const { return regs_[i]; }
+  void set_reg(unsigned i, std::uint32_t v) {
+    if (i != 0) regs_[i] = v;
+  }
+  bool halted() const { return halted_; }
+  bool illegal() const { return illegal_; }
+
+  std::uint32_t load_word(std::uint32_t addr) const;
+  std::uint8_t load_byte(std::uint32_t addr) const { return mem_[addr % mem_.size()]; }
+  void store_word(std::uint32_t addr, std::uint32_t value);
+  void store_byte(std::uint32_t addr, std::uint8_t value) { mem_[addr % mem_.size()] = value; }
+
+  /// Dynamic per-mnemonic retire counts (includes c.* when fetched
+  /// compressed).
+  const std::map<std::string, std::uint64_t>& dynamic_profile() const { return profile_; }
+
+  /// Architectural trace entry: one per retired instruction that writes a
+  /// register or memory (used for lockstep core validation).
+  struct TraceEntry {
+    std::uint32_t pc = 0;
+    unsigned rd = 0;            // 0 when no register write
+    std::uint32_t rd_value = 0;
+    bool mem_write = false;
+    std::uint32_t mem_addr = 0;
+    std::uint32_t mem_value = 0;  // value of the written bytes, LSB-aligned
+    unsigned mem_size = 0;        // bytes
+  };
+  void set_tracing(bool on) { tracing_ = on; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+ private:
+  std::vector<std::uint8_t> mem_;
+  std::uint32_t regs_[32] = {};
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+  bool illegal_ = false;
+  bool tracing_ = false;
+  std::map<std::string, std::uint64_t> profile_;
+  std::vector<TraceEntry> trace_;
+  std::map<unsigned, std::uint32_t> csrs_;
+  std::uint64_t instret_ = 0;
+
+  std::uint32_t csr_read(unsigned addr);
+  void csr_write(unsigned addr, std::uint32_t value);
+};
+
+}  // namespace pdat::iss

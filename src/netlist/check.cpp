@@ -1,0 +1,60 @@
+#include "netlist/check.h"
+
+#include "netlist/levelize.h"
+
+namespace pdat {
+
+std::vector<std::string> check_netlist(const Netlist& nl) {
+  std::vector<std::string> problems;
+  std::vector<bool> is_pi(nl.num_nets(), false);
+  for (const auto& p : nl.inputs()) {
+    for (NetId n : p.bits) {
+      if (n >= nl.num_nets()) {
+        problems.push_back("input port " + p.name + " references bad net");
+        continue;
+      }
+      is_pi[n] = true;
+      if (nl.driver(n) != kNoCell) problems.push_back("primary input net driven: " + p.name);
+    }
+  }
+  for (CellId id : nl.live_cells()) {
+    const Cell& c = nl.cell(id);
+    const int n = cell_num_inputs(c.kind);
+    for (int i = 0; i < n; ++i) {
+      const NetId in = c.in[static_cast<std::size_t>(i)];
+      if (in == kNoNet || in >= nl.num_nets()) {
+        problems.push_back("cell " + std::to_string(id) + " has unconnected input");
+        continue;
+      }
+      if (nl.driver(in) == kNoCell && !is_pi[in]) {
+        problems.push_back("cell " + std::to_string(id) + " input net " + std::to_string(in) +
+                           " is floating");
+      }
+    }
+    if (c.out == kNoNet || nl.driver(c.out) != id) {
+      problems.push_back("cell " + std::to_string(id) + " output inconsistency");
+    }
+  }
+  for (const auto& p : nl.outputs()) {
+    for (NetId n : p.bits) {
+      if (n >= nl.num_nets()) {
+        problems.push_back("output port " + p.name + " references bad net");
+      } else if (nl.driver(n) == kNoCell && !is_pi[n]) {
+        problems.push_back("output port " + p.name + " bit floating");
+      }
+    }
+  }
+  try {
+    levelize(nl);
+  } catch (const PdatError& e) {
+    problems.push_back(e.what());
+  }
+  return problems;
+}
+
+void require_well_formed(const Netlist& nl) {
+  auto problems = check_netlist(nl);
+  if (!problems.empty()) throw PdatError("netlist check failed: " + problems.front());
+}
+
+}  // namespace pdat

@@ -1,0 +1,19 @@
+// Structural consistency checks for netlists.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace pdat {
+
+/// Returns a list of human-readable problems; empty means the netlist is
+/// well-formed (every used net driven or a primary input, no dangling pins,
+/// no combinational cycles, ports reference valid nets).
+std::vector<std::string> check_netlist(const Netlist& nl);
+
+/// Throws PdatError with the first problem if any.
+void require_well_formed(const Netlist& nl);
+
+}  // namespace pdat

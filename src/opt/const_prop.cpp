@@ -1,0 +1,174 @@
+#include "opt/const_prop.h"
+
+#include "netlist/levelize.h"
+#include "opt/opt_common.h"
+
+namespace pdat::opt {
+namespace {
+
+/// Sequential constant analysis: optimistic fixpoint starting from flop init
+/// values; primary inputs are unknown (X).
+std::vector<Tri> sequential_constants(const Netlist& nl, const Levelization& lv) {
+  std::vector<Tri> val(nl.num_nets(), Tri::X);
+  std::vector<Tri> flop_val(nl.num_cells_raw(), Tri::X);
+  for (CellId id : lv.flops) flop_val[id] = nl.cell(id).init;
+
+  auto eval_comb = [&]() {
+    for (CellId id : lv.flops) val[nl.cell(id).out] = flop_val[id];
+    for (CellId id : lv.comb_order) {
+      const Cell& c = nl.cell(id);
+      const Tri a = c.in[0] == kNoNet ? Tri::X : val[c.in[0]];
+      const Tri b = c.in[1] == kNoNet ? Tri::X : val[c.in[1]];
+      const Tri d = c.in[2] == kNoNet ? Tri::X : val[c.in[2]];
+      val[c.out] = cell_eval_tri(c.kind, a, b, d);
+    }
+  };
+
+  for (;;) {
+    eval_comb();
+    bool changed = false;
+    for (CellId id : lv.flops) {
+      if (flop_val[id] == Tri::X) continue;
+      const Tri d = val[nl.cell(id).in[0]];
+      if (d != flop_val[id]) {
+        flop_val[id] = Tri::X;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  eval_comb();
+  return val;
+}
+
+}  // namespace
+
+std::size_t const_prop(Netlist& nl) {
+  const Levelization lv = levelize(nl);
+  const std::vector<Tri> cv = sequential_constants(nl, lv);
+  ReplMap repl(nl.num_nets());
+
+  auto cnet = [&](Tri v) { return v == Tri::T ? nl.const1() : nl.const0(); };
+
+  // 1. Redirect every constant net to a tie cell.
+  for (NetId n = 0; n < cv.size(); ++n) {
+    if (cv[n] == Tri::X) continue;
+    const CellId drv = nl.driver(n);
+    if (drv != kNoCell && cell_is_const(nl.cell(drv).kind)) continue;  // already a tie
+    if (drv == kNoCell) continue;  // primary input or cutpoint: leave alone
+    repl.grow(nl.num_nets());
+    repl.set(n, cnet(cv[n]));
+  }
+
+  // 2. Simplify cells with constant inputs that are not themselves constant.
+  auto is0 = [&](NetId n) { return n != kNoNet && cv[n] == Tri::F; };
+  auto is1 = [&](NetId n) { return n != kNoNet && cv[n] == Tri::T; };
+  auto inv_of = [&](NetId n) {
+    repl.grow(nl.num_nets() + 2);
+    const NetId out = nl.add_cell(CellKind::Inv, n);
+    repl.grow(nl.num_nets());
+    return out;
+  };
+
+  for (CellId id : lv.comb_order) {
+    const Cell c = nl.cell(id);  // copy: we may add cells below
+    if (cv[c.out] != Tri::X) continue;  // output already redirected
+    const NetId a = c.in[0], b = c.in[1], s = c.in[2];
+    NetId to = kNoNet;
+    switch (c.kind) {
+      case CellKind::Buf: to = a; break;
+      case CellKind::And2:
+        if (is1(a)) to = b;
+        else if (is1(b)) to = a;
+        break;
+      case CellKind::Or2:
+        if (is0(a)) to = b;
+        else if (is0(b)) to = a;
+        break;
+      case CellKind::Nand2:
+        if (is1(a)) to = inv_of(b);
+        else if (is1(b)) to = inv_of(a);
+        break;
+      case CellKind::Nor2:
+        if (is0(a)) to = inv_of(b);
+        else if (is0(b)) to = inv_of(a);
+        break;
+      case CellKind::Xor2:
+        if (is0(a)) to = b;
+        else if (is0(b)) to = a;
+        else if (is1(a)) to = inv_of(b);
+        else if (is1(b)) to = inv_of(a);
+        break;
+      case CellKind::Xnor2:
+        if (is1(a)) to = b;
+        else if (is1(b)) to = a;
+        else if (is0(a)) to = inv_of(b);
+        else if (is0(b)) to = inv_of(a);
+        break;
+      case CellKind::And3: {
+        // Drop constant-1 inputs.
+        std::vector<NetId> rest;
+        for (NetId in : {a, b, s})
+          if (!is1(in)) rest.push_back(in);
+        if (rest.size() == 2) to = nl.add_cell(CellKind::And2, rest[0], rest[1]);
+        else if (rest.size() == 1) to = rest[0];
+        break;
+      }
+      case CellKind::Or3: {
+        std::vector<NetId> rest;
+        for (NetId in : {a, b, s})
+          if (!is0(in)) rest.push_back(in);
+        if (rest.size() == 2) to = nl.add_cell(CellKind::Or2, rest[0], rest[1]);
+        else if (rest.size() == 1) to = rest[0];
+        break;
+      }
+      case CellKind::Nand3: {
+        std::vector<NetId> rest;
+        for (NetId in : {a, b, s})
+          if (!is1(in)) rest.push_back(in);
+        if (rest.size() == 2) to = nl.add_cell(CellKind::Nand2, rest[0], rest[1]);
+        else if (rest.size() == 1) to = inv_of(rest[0]);
+        break;
+      }
+      case CellKind::Nor3: {
+        std::vector<NetId> rest;
+        for (NetId in : {a, b, s})
+          if (!is0(in)) rest.push_back(in);
+        if (rest.size() == 2) to = nl.add_cell(CellKind::Nor2, rest[0], rest[1]);
+        else if (rest.size() == 1) to = inv_of(rest[0]);
+        break;
+      }
+      case CellKind::Mux2:
+        if (is0(s)) to = a;
+        else if (is1(s)) to = b;
+        else if (a == b) to = a;
+        else if (is0(a) && is1(b)) to = s;
+        else if (is1(a) && is0(b)) to = inv_of(s);
+        break;
+      case CellKind::Aoi21:
+        // ZN = ~((A1&A2)|B), inputs a=A1 b=A2 s=B
+        if (is0(s)) to = nl.add_cell(CellKind::Nand2, a, b);
+        else if (is1(a)) to = nl.add_cell(CellKind::Nor2, b, s);
+        else if (is1(b)) to = nl.add_cell(CellKind::Nor2, a, s);
+        else if (is0(a) || is0(b)) to = inv_of(s);
+        break;
+      case CellKind::Oai21:
+        // ZN = ~((A1|A2)&B)
+        if (is1(s)) to = nl.add_cell(CellKind::Nor2, a, b);
+        else if (is0(a)) to = nl.add_cell(CellKind::Nand2, b, s);
+        else if (is0(b)) to = nl.add_cell(CellKind::Nand2, a, s);
+        else if (is1(a) || is1(b)) to = inv_of(s);
+        break;
+      default: break;
+    }
+    if (to != kNoNet && to != c.out) {
+      repl.grow(nl.num_nets());
+      repl.set(c.out, to);
+    }
+  }
+
+  repl.grow(nl.num_nets());
+  return apply_replacements(nl, repl);
+}
+
+}  // namespace pdat::opt

@@ -1,0 +1,14 @@
+// Constant propagation (combinational and sequential) plus simplification of
+// cells with constant inputs. This is the pass that turns the PDAT rewiring
+// stage's injected constants into structural shrinkage.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace pdat::opt {
+
+/// Returns the number of nets redirected. Repeating until 0 reaches a
+/// fixpoint together with dead-cell sweeping.
+std::size_t const_prop(Netlist& nl);
+
+}  // namespace pdat::opt

@@ -1,0 +1,45 @@
+#include "opt/dead_cells.h"
+
+#include <vector>
+
+namespace pdat::opt {
+
+std::size_t sweep_dead_cells(Netlist& nl) {
+  std::vector<bool> live_net(nl.num_nets(), false);
+  std::vector<NetId> stack;
+  for (const auto& p : nl.outputs()) {
+    for (NetId b : p.bits) {
+      if (!live_net[b]) {
+        live_net[b] = true;
+        stack.push_back(b);
+      }
+    }
+  }
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    const CellId drv = nl.driver(n);
+    if (drv == kNoCell) continue;
+    const Cell& c = nl.cell(drv);
+    const int ni = cell_num_inputs(c.kind);
+    for (int i = 0; i < ni; ++i) {
+      const NetId in = c.in[static_cast<std::size_t>(i)];
+      if (!live_net[in]) {
+        live_net[in] = true;
+        stack.push_back(in);
+      }
+    }
+  }
+
+  std::size_t killed = 0;
+  for (CellId id : nl.live_cells()) {
+    const Cell& c = nl.cell(id);
+    if (!live_net[c.out]) {
+      nl.kill_cell(id);
+      ++killed;
+    }
+  }
+  return killed;
+}
+
+}  // namespace pdat::opt

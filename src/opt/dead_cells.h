@@ -1,0 +1,12 @@
+// Dead-cell sweep: removes every cell whose output cannot reach a primary
+// output (through combinational logic and flops).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace pdat::opt {
+
+/// Returns the number of cells killed.
+std::size_t sweep_dead_cells(Netlist& nl);
+
+}  // namespace pdat::opt

@@ -1,0 +1,27 @@
+// Netlist obfuscation, modeling the obfuscated Cortex-M0 netlist of §VII-B.
+//
+// The pass hides design intent without changing function: net/port debug
+// names are scrambled, multi-input gates are decomposed into NAND/NOR/INV
+// networks, inverter pairs are inserted on random nets, and muxes with a
+// redundant constant-selected branch camouflage simple gates. The result is
+// functionally identical (checked in tests by bit-parallel co-simulation)
+// but structurally dissimilar and larger — as the paper observes, some of
+// the area PDAT later removes "may be attributable to ARM's obfuscation".
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace pdat::opt {
+
+struct ObfuscateOptions {
+  std::uint64_t seed = 0xa5a5;
+  unsigned decompose_chance = 40;   // /256: split AND/OR/XOR into NAND/NOR/INV
+  unsigned invpair_chance = 8;     // /256: insert a double inverter on a net
+  unsigned camo_chance = 4;        // /256: wrap a gate output in a mux camo
+};
+
+void obfuscate(Netlist& nl, const ObfuscateOptions& opt = {});
+
+}  // namespace pdat::opt

@@ -1,0 +1,44 @@
+#include "opt/opt_common.h"
+
+namespace pdat::opt {
+
+std::size_t apply_replacements(Netlist& nl, ReplMap& repl) {
+  std::size_t changed = 0;
+  for (CellId id : nl.live_cells()) {
+    Cell& c = nl.cell(id);
+    const int n = cell_num_inputs(c.kind);
+    for (int i = 0; i < n; ++i) {
+      NetId& in = c.in[static_cast<std::size_t>(i)];
+      const NetId to = repl.find(in);
+      if (to != in) {
+        in = to;
+        ++changed;
+      }
+    }
+  }
+  for (auto& port : nl.outputs_mut()) {
+    for (auto& bit : port.bits) {
+      const NetId to = repl.find(bit);
+      if (to != bit) {
+        bit = to;
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+std::vector<std::uint32_t> fanout_counts(const Netlist& nl) {
+  std::vector<std::uint32_t> fo(nl.num_nets(), 0);
+  for (CellId id : nl.live_cells()) {
+    const Cell& c = nl.cell(id);
+    const int n = cell_num_inputs(c.kind);
+    for (int i = 0; i < n; ++i) ++fo[c.in[static_cast<std::size_t>(i)]];
+  }
+  for (const auto& p : nl.outputs()) {
+    for (NetId b : p.bits) ++fo[b];
+  }
+  return fo;
+}
+
+}  // namespace pdat::opt

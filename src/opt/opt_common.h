@@ -1,0 +1,50 @@
+// Helpers shared by the optimizer passes.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace pdat::opt {
+
+/// Net-replacement map with union-find-style chasing. repl[n] == n means
+/// "keep". Cycles are a bug in the pass that filled the map.
+class ReplMap {
+ public:
+  explicit ReplMap(std::size_t num_nets) : repl_(num_nets) {
+    for (std::size_t i = 0; i < num_nets; ++i) repl_[i] = static_cast<NetId>(i);
+  }
+
+  void set(NetId from, NetId to) { repl_[from] = to; }
+  bool changed(NetId n) const { return repl_[n] != n; }
+
+  NetId find(NetId n) {
+    NetId r = n;
+    while (repl_[r] != r) r = repl_[r];
+    while (repl_[n] != r) {  // path compression
+      const NetId next = repl_[n];
+      repl_[n] = r;
+      n = next;
+    }
+    return r;
+  }
+
+  /// Grows the map when passes add nets mid-flight.
+  void grow(std::size_t num_nets) {
+    while (repl_.size() < num_nets) repl_.push_back(static_cast<NetId>(repl_.size()));
+  }
+
+  std::size_t size() const { return repl_.size(); }
+
+ private:
+  std::vector<NetId> repl_;
+};
+
+/// Rewrites every cell input and primary-output bit through the map.
+/// Returns the number of connections changed.
+std::size_t apply_replacements(Netlist& nl, ReplMap& repl);
+
+/// Fanout count per net (uses by live cells + primary outputs).
+std::vector<std::uint32_t> fanout_counts(const Netlist& nl);
+
+}  // namespace pdat::opt

@@ -1,0 +1,35 @@
+#include "opt/optimizer.h"
+
+#include "base/log.h"
+#include "opt/const_prop.h"
+#include "opt/dead_cells.h"
+#include "opt/rewrite.h"
+#include "opt/strash.h"
+
+namespace pdat::opt {
+
+OptimizeStats optimize(Netlist& nl, int max_iterations) {
+  OptimizeStats st;
+  st.gates_before = nl.gate_count();
+  st.area_before = nl.area();
+  for (int i = 0; i < max_iterations; ++i) {
+    ++st.iterations;
+    const std::size_t c = const_prop(nl);
+    const std::size_t r = algebraic_rewrite(nl);
+    const std::size_t m = strash(nl);
+    const std::size_t d = sweep_dead_cells(nl);
+    st.const_redirects += c;
+    st.rewrites += r;
+    st.strash_merges += m;
+    st.dead_cells += d;
+    log_debug() << "opt iter " << i << ": const=" << c << " rw=" << r << " strash=" << m
+                << " dead=" << d << " gates=" << nl.gate_count();
+    if (c + r + m + d == 0) break;
+  }
+  nl.compact();
+  st.gates_after = nl.gate_count();
+  st.area_after = nl.area();
+  return st;
+}
+
+}  // namespace pdat::opt

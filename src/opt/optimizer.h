@@ -1,0 +1,27 @@
+// Resynthesis driver: iterates constant propagation, algebraic rewriting,
+// structural hashing, and dead-cell sweeping to a fixpoint. This plays the
+// role of the "standard synthesis flow" in the PDAT pipeline's Logic
+// Resynthesis Stage (paper §IV-C).
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.h"
+
+namespace pdat::opt {
+
+struct OptimizeStats {
+  std::size_t iterations = 0;
+  std::size_t const_redirects = 0;
+  std::size_t rewrites = 0;
+  std::size_t strash_merges = 0;
+  std::size_t dead_cells = 0;
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  double area_before = 0;
+  double area_after = 0;
+};
+
+OptimizeStats optimize(Netlist& nl, int max_iterations = 32);
+
+}  // namespace pdat::opt

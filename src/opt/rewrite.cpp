@@ -1,0 +1,102 @@
+#include "opt/rewrite.h"
+
+#include "netlist/levelize.h"
+#include "opt/opt_common.h"
+
+namespace pdat::opt {
+namespace {
+
+/// If `net` is driven by an Inv, returns the Inv's input; else kNoNet.
+NetId inv_input(const Netlist& nl, NetId net) {
+  const CellId drv = nl.driver(net);
+  if (drv == kNoCell) return kNoNet;
+  const Cell& c = nl.cell(drv);
+  return c.kind == CellKind::Inv ? c.in[0] : kNoNet;
+}
+
+CellKind complement_of(CellKind kind) {
+  switch (kind) {
+    case CellKind::And2: return CellKind::Nand2;
+    case CellKind::Nand2: return CellKind::And2;
+    case CellKind::Or2: return CellKind::Nor2;
+    case CellKind::Nor2: return CellKind::Or2;
+    case CellKind::Xor2: return CellKind::Xnor2;
+    case CellKind::Xnor2: return CellKind::Xor2;
+    case CellKind::And3: return CellKind::Nand3;
+    case CellKind::Nand3: return CellKind::And3;
+    case CellKind::Or3: return CellKind::Nor3;
+    case CellKind::Nor3: return CellKind::Or3;
+    default: return CellKind::kCount;
+  }
+}
+
+}  // namespace
+
+std::size_t algebraic_rewrite(Netlist& nl) {
+  const Levelization lv = levelize(nl);
+  const auto fo = fanout_counts(nl);
+  ReplMap repl(nl.num_nets());
+  std::size_t changes = 0;
+
+  for (CellId id : lv.comb_order) {
+    const Cell c = nl.cell(id);  // copy; we may add cells
+    if (repl.changed(c.out)) continue;
+    const NetId a = c.in[0], b = c.in[1];
+    NetId to = kNoNet;
+    switch (c.kind) {
+      case CellKind::Inv: {
+        const NetId aa = inv_input(nl, a);
+        if (aa != kNoNet) {
+          to = aa;  // Inv(Inv(x)) = x
+          break;
+        }
+        // Single-fanout complementary-gate absorption: Inv(G(x,y)) -> G'(x,y)
+        const CellId drv = nl.driver(a);
+        if (drv != kNoCell && fo[a] == 1) {
+          const Cell& g = nl.cell(drv);
+          const CellKind comp = complement_of(g.kind);
+          if (comp != CellKind::kCount) {
+            to = nl.add_cell(comp, g.in[0], g.in[1], g.in[2]);
+          }
+        }
+        break;
+      }
+      case CellKind::Buf: to = a; break;
+      case CellKind::And2:
+      case CellKind::Or2:
+        if (a == b) to = a;
+        else if (inv_input(nl, a) == b || inv_input(nl, b) == a)
+          to = c.kind == CellKind::And2 ? nl.const0() : nl.const1();
+        break;
+      case CellKind::Nand2:
+      case CellKind::Nor2:
+        if (a == b) to = nl.add_cell(CellKind::Inv, a);
+        else if (inv_input(nl, a) == b || inv_input(nl, b) == a)
+          to = c.kind == CellKind::Nand2 ? nl.const1() : nl.const0();
+        break;
+      case CellKind::Xor2:
+        if (a == b) to = nl.const0();
+        else if (inv_input(nl, a) == b || inv_input(nl, b) == a) to = nl.const1();
+        break;
+      case CellKind::Xnor2:
+        if (a == b) to = nl.const1();
+        else if (inv_input(nl, a) == b || inv_input(nl, b) == a) to = nl.const0();
+        break;
+      case CellKind::Mux2:
+        if (a == b) to = a;
+        break;
+      default: break;
+    }
+    if (to != kNoNet && to != c.out) {
+      repl.grow(nl.num_nets());
+      repl.set(c.out, to);
+      ++changes;
+    }
+  }
+
+  repl.grow(nl.num_nets());
+  apply_replacements(nl, repl);
+  return changes;
+}
+
+}  // namespace pdat::opt

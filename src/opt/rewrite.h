@@ -1,0 +1,13 @@
+// Constant-free algebraic rewrites: idempotence, complementation,
+// double-inversion, and single-fanout inverter absorption into
+// complementary gates.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace pdat::opt {
+
+/// Returns the number of nets redirected or cells restructured.
+std::size_t algebraic_rewrite(Netlist& nl);
+
+}  // namespace pdat::opt

@@ -1,0 +1,88 @@
+#include "opt/strash.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "netlist/levelize.h"
+#include "opt/opt_common.h"
+
+namespace pdat::opt {
+namespace {
+
+struct Key {
+  CellKind kind;
+  std::array<NetId, 3> in;
+  std::uint8_t init;
+
+  bool operator==(const Key& o) const { return kind == o.kind && in == o.in && init == o.init; }
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    std::size_t h = static_cast<std::size_t>(k.kind) * 0x9e3779b97f4a7c15ULL;
+    for (NetId n : k.in) h = (h ^ n) * 0x100000001b3ULL;
+    return h ^ k.init;
+  }
+};
+
+bool commutative(CellKind kind) {
+  switch (kind) {
+    case CellKind::And2:
+    case CellKind::Or2:
+    case CellKind::Nand2:
+    case CellKind::Nor2:
+    case CellKind::Xor2:
+    case CellKind::Xnor2:
+    case CellKind::And3:
+    case CellKind::Or3:
+    case CellKind::Nand3:
+    case CellKind::Nor3:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::size_t strash(Netlist& nl) {
+  std::size_t merged = 0;
+  // Iterate to a fixpoint within the pass: merging upstream cells can make
+  // downstream cells identical. Topological order makes one sweep enough per
+  // netlist state, but replacements are applied lazily through ReplMap.
+  const Levelization lv = levelize(nl);
+  ReplMap repl(nl.num_nets());
+  std::unordered_map<Key, NetId, KeyHash> table;
+
+  auto process = [&](CellId id) {
+    Cell& c = nl.cell(id);
+    Key k;
+    k.kind = c.kind;
+    k.init = static_cast<std::uint8_t>(c.init);
+    const int n = cell_num_inputs(c.kind);
+    for (int i = 0; i < 3; ++i) {
+      k.in[static_cast<std::size_t>(i)] =
+          i < n ? repl.find(c.in[static_cast<std::size_t>(i)]) : kNoNet;
+    }
+    if (commutative(c.kind)) {
+      std::sort(k.in.begin(), k.in.begin() + n);
+    }
+    auto [it, inserted] = table.emplace(k, c.out);
+    if (!inserted) {
+      repl.set(c.out, it->second);
+      ++merged;
+    }
+  };
+
+  // Flops first (their outputs are sources); then combinational in order.
+  // Flop merging uses the *previous* D equivalence only when D nets are
+  // already identical, which the comb sweep below gradually exposes across
+  // optimizer iterations.
+  for (CellId id : lv.flops) process(id);
+  for (CellId id : lv.comb_order) process(id);
+
+  apply_replacements(nl, repl);
+  return merged;
+}
+
+}  // namespace pdat::opt

@@ -1,0 +1,12 @@
+// Structural hashing: merges functionally identical cells (same kind, same
+// input nets up to commutativity). Flops merge when D and init match.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace pdat::opt {
+
+/// Returns the number of cells merged away.
+std::size_t strash(Netlist& nl);
+
+}  // namespace pdat::opt

@@ -1,0 +1,75 @@
+#include "pdat/pipeline.h"
+
+#include "base/log.h"
+#include "formal/bmc.h"
+#include "netlist/check.h"
+
+namespace pdat {
+
+PdatResult run_pdat(const Netlist& design,
+                    const std::function<RestrictionResult(Netlist&)>& restrict_fn,
+                    const PdatOptions& opt) {
+  PdatResult res;
+  res.gates_before = design.gate_count();
+  res.area_before = design.area();
+  res.flops_before = design.num_flops();
+
+  // --- build the analysis netlist: design + restrictions -------------------
+  Netlist analysis = design;
+  const CellId design_cells = static_cast<CellId>(design.num_cells_raw());
+  RestrictionResult restr = restrict_fn(analysis);
+
+  if (opt.check_env_satisfiable && !env_satisfiable(analysis, restr.env, opt.env_check_depth)) {
+    throw PdatError("PDAT: environment restriction is unsatisfiable (vacuous)");
+  }
+
+  // --- annotate with the property library ----------------------------------
+  PropertyLibraryOptions plopt = opt.properties;
+  plopt.cell_limit = design_cells;
+  for (NetId n : restr.cut_nets) plopt.excluded_nets.push_back(n);
+  std::vector<GateProperty> candidates = annotate_netlist(analysis, plopt);
+  candidates.insert(candidates.end(), restr.strengthen.begin(), restr.strengthen.end());
+  if (plopt.equivalence_props) {
+    EquivCandidateOptions eopt;
+    eopt.sim = opt.sim;
+    for (NetId n : restr.cut_nets) eopt.sim.free_nets.push_back(n);
+    eopt.cell_limit = design_cells;
+    const auto eq = equivalence_candidates(analysis, restr.env, eopt);
+    candidates.insert(candidates.end(), eq.begin(), eq.end());
+  }
+  res.candidates = candidates.size();
+
+  // --- property checking stage ----------------------------------------------
+  SimFilterOptions simopt = opt.sim;
+  for (NetId n : restr.cut_nets) simopt.free_nets.push_back(n);
+  const SimFilterResult filtered = sim_filter(analysis, restr.env, std::move(candidates), simopt);
+  res.after_sim_filter = filtered.survivors.size();
+  if (filtered.assume_violation_cycles > 0) {
+    log_warn() << "PDAT: stimulus violated assumes in " << filtered.assume_violation_cycles
+               << " cycles (filtering quality reduced)";
+  }
+  log_info() << "PDAT: " << res.candidates << " candidates, " << res.after_sim_filter
+             << " after simulation filtering";
+
+  InductionOptions iopt = opt.induction;
+  for (NetId n : restr.cut_nets) iopt.sim_free_nets.push_back(n);
+  const std::vector<GateProperty> proven =
+      prove_invariants(analysis, restr.env, filtered.survivors, iopt, &res.induction);
+  res.proven = proven.size();
+  log_info() << "PDAT: proved " << res.proven << " gate invariants";
+
+  // --- rewiring stage (on a fresh copy of the original design) --------------
+  res.transformed = design;
+  res.rewires = apply_rewiring(res.transformed, proven);
+
+  // --- logic resynthesis stage ----------------------------------------------
+  res.resynthesis = opt::optimize(res.transformed, opt.resynthesis_iterations);
+  require_well_formed(res.transformed);
+
+  res.gates_after = res.transformed.gate_count();
+  res.area_after = res.transformed.area();
+  res.flops_after = res.transformed.num_flops();
+  return res;
+}
+
+}  // namespace pdat

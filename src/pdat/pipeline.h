@@ -1,0 +1,52 @@
+// The PDAT pipeline (paper Fig. 2): Property Checking -> Netlist Rewiring
+// -> Logic Resynthesis, driven by a Property Library annotation and an
+// environment restriction.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "formal/candidates.h"
+#include "formal/induction.h"
+#include "opt/optimizer.h"
+#include "pdat/property_library.h"
+#include "pdat/restrictions.h"
+#include "pdat/rewire.h"
+
+namespace pdat {
+
+struct PdatOptions {
+  SimFilterOptions sim;
+  InductionOptions induction;
+  PropertyLibraryOptions properties;
+  int resynthesis_iterations = 32;
+  bool check_env_satisfiable = true;  // reject vacuous environments
+  int env_check_depth = 3;
+};
+
+struct PdatResult {
+  Netlist transformed;
+  // Property-checking funnel.
+  std::size_t candidates = 0;
+  std::size_t after_sim_filter = 0;
+  std::size_t proven = 0;
+  InductionStats induction;
+  // Rewiring + resynthesis.
+  RewireStats rewires;
+  opt::OptimizeStats resynthesis;
+  // Headline numbers.
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  double area_before = 0;
+  double area_after = 0;
+  std::size_t flops_before = 0;
+  std::size_t flops_after = 0;
+};
+
+/// `restrict_fn` receives the analysis copy of `design` and installs the
+/// environment restrictions (cutpoints, constraint circuits, stimulus).
+PdatResult run_pdat(const Netlist& design,
+                    const std::function<RestrictionResult(Netlist&)>& restrict_fn,
+                    const PdatOptions& opt = {});
+
+}  // namespace pdat

@@ -1,0 +1,53 @@
+#include "pdat/report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace pdat {
+
+VariantRow make_row(const std::string& name, const Netlist& nl) {
+  VariantRow r;
+  r.name = name;
+  r.gates = nl.gate_count();
+  r.area = nl.area();
+  r.flops = nl.num_flops();
+  return r;
+}
+
+VariantRow make_row(const std::string& name, const PdatResult& res, double seconds) {
+  VariantRow r = make_row(name, res.transformed);
+  r.candidates = res.candidates;
+  r.proven = res.proven;
+  r.seconds = seconds;
+  return r;
+}
+
+void print_variant_table(std::ostream& os, std::vector<VariantRow> rows, const std::string& title,
+                         const std::string& baseline) {
+  const VariantRow* base = rows.empty() ? nullptr : &rows.front();
+  for (const auto& r : rows) {
+    if (!baseline.empty() && r.name == baseline) base = &r;
+  }
+  if (base != nullptr) {
+    for (auto& r : rows) {
+      r.gate_reduction_pct =
+          100.0 * (1.0 - static_cast<double>(r.gates) / static_cast<double>(base->gates));
+      r.area_reduction_pct = 100.0 * (1.0 - r.area / base->area);
+    }
+  }
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(26) << "variant" << std::right << std::setw(9) << "gates"
+     << std::setw(12) << "area_um2" << std::setw(8) << "flops" << std::setw(10) << "gates_red"
+     << std::setw(10) << "area_red" << std::setw(11) << "cands" << std::setw(9) << "proven"
+     << std::setw(9) << "sec" << "\n";
+  for (const auto& r : rows) {
+    os << std::left << std::setw(26) << r.name << std::right << std::setw(9) << r.gates
+       << std::setw(12) << std::fixed << std::setprecision(1) << r.area << std::setw(8) << r.flops
+       << std::setw(9) << std::setprecision(1) << r.gate_reduction_pct << "%" << std::setw(9)
+       << r.area_reduction_pct << "%" << std::setw(11) << r.candidates << std::setw(9) << r.proven
+       << std::setw(9) << std::setprecision(1) << r.seconds << "\n";
+  }
+  os << "\n";
+}
+
+}  // namespace pdat

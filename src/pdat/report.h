@@ -1,0 +1,34 @@
+// Result tabulation for the reproduction benches (Figures 5-7 style rows).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pdat/pipeline.h"
+
+namespace pdat {
+
+struct VariantRow {
+  std::string name;
+  std::size_t gates = 0;
+  double area = 0;
+  std::size_t flops = 0;
+  // Relative to a designated baseline row (filled by print_variant_table).
+  double gate_reduction_pct = 0;
+  double area_reduction_pct = 0;
+  // Property-checking funnel (0 for non-PDAT rows).
+  std::size_t candidates = 0;
+  std::size_t proven = 0;
+  double seconds = 0;
+};
+
+VariantRow make_row(const std::string& name, const Netlist& nl);
+VariantRow make_row(const std::string& name, const PdatResult& r, double seconds = 0);
+
+/// Prints an aligned table; reductions are computed against the row named
+/// `baseline` (or the first row when empty).
+void print_variant_table(std::ostream& os, std::vector<VariantRow> rows,
+                         const std::string& title, const std::string& baseline = "");
+
+}  // namespace pdat

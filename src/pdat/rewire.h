@@ -1,0 +1,28 @@
+// The Netlist Rewiring Stage (paper §IV-B).
+//
+// Applies proved gate properties to a netlist: constant outputs are
+// re-driven by tie cells, proved input implications forward a gate input
+// (possibly through an inverter) to the output net. No cell is removed —
+// the Logic Resynthesis Stage sweeps the disconnected drivers afterwards.
+#pragma once
+
+#include <vector>
+
+#include "formal/property.h"
+#include "netlist/netlist.h"
+
+namespace pdat {
+
+struct RewireStats {
+  std::size_t const_rewires = 0;
+  std::size_t impl_rewires = 0;
+  std::size_t equiv_rewires = 0;
+  std::size_t skipped_conflicts = 0;   // second proof about an already-rewired net
+  std::size_t strengthen_only = 0;     // proved but intentionally not applied
+};
+
+/// Properties must refer to nets/cells valid in `nl`. Constant proofs take
+/// priority over implication proofs on the same net.
+RewireStats apply_rewiring(Netlist& nl, const std::vector<GateProperty>& proven);
+
+}  // namespace pdat

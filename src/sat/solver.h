@@ -1,0 +1,151 @@
+// CDCL SAT solver in the MiniSat lineage.
+//
+// Features: two-watched-literal propagation, first-UIP clause learning with
+// self-subsumption minimization, VSIDS branching with phase saving, Luby
+// restarts, LBD-based learned-clause reduction, incremental solving under
+// assumptions, and a per-call conflict budget (the PDAT pipeline treats a
+// budget hit as "inconclusive" and conservatively keeps the gate).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pdat::sat {
+
+using Var = int;
+
+/// Literal: variable with sign, encoded as 2*var + (negated ? 1 : 0).
+struct Lit {
+  int x = -2;
+
+  Lit() = default;
+  Lit(Var v, bool neg) : x(2 * v + (neg ? 1 : 0)) {}
+
+  Var var() const { return x >> 1; }
+  bool sign() const { return (x & 1) != 0; }  // true = negated
+  Lit operator~() const {
+    Lit q;
+    q.x = x ^ 1;
+    return q;
+  }
+  bool operator==(const Lit& o) const { return x == o.x; }
+  bool operator!=(const Lit& o) const { return x != o.x; }
+};
+
+inline Lit mk_lit(Var v, bool neg = false) { return Lit(v, neg); }
+
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+enum class SolveResult { Sat, Unsat, Unknown };
+
+class Solver {
+ public:
+  Solver();
+
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause over current variables. Returns false if the solver is
+  /// already in an unsatisfiable state.
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
+
+  /// Solves under assumptions. conflict_budget < 0 means unlimited.
+  SolveResult solve(const std::vector<Lit>& assumptions = {}, std::int64_t conflict_budget = -1);
+
+  /// Model access after Sat.
+  bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)] == LBool::True; }
+
+  /// After Unsat with assumptions: subset of assumptions used (the "core").
+  const std::vector<Lit>& conflict_core() const { return conflict_core_; }
+
+  bool okay() const { return ok_; }
+
+  // Statistics.
+  std::uint64_t num_conflicts() const { return conflicts_; }
+  std::uint64_t num_decisions() const { return decisions_; }
+  std::uint64_t num_propagations() const { return propagations_; }
+
+ private:
+  struct Clause {
+    std::uint32_t offset;  // into arena
+    std::uint32_t size;
+    bool learnt;
+    float activity;
+    std::uint32_t lbd;
+  };
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoClause = UINT32_MAX;
+
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  // Arena of literals; clauses index into it.
+  std::vector<Lit> arena_;
+  std::vector<Clause> clauses_;
+  std::vector<ClauseRef> learnts_;
+  std::vector<ClauseRef> problem_clauses_;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit.x
+  std::vector<LBool> assigns_;
+  std::vector<bool> polarity_;  // saved phase
+  std::vector<double> activity_;
+  std::vector<ClauseRef> reason_;
+  std::vector<int> level_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::vector<bool> seen_;
+  std::vector<LBool> model_;
+  std::vector<Lit> conflict_core_;
+
+  // VSIDS order: binary heap keyed by activity.
+  std::vector<Var> heap_;
+  std::vector<int> heap_pos_;
+
+  double var_inc_ = 1.0;
+  double var_decay_ = 0.95;
+  bool ok_ = true;
+  int qhead_ = 0;
+
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t propagations_ = 0;
+  std::uint64_t max_learnts_ = 8192;
+
+  LBool lit_value(Lit p) const {
+    LBool v = assigns_[static_cast<std::size_t>(p.var())];
+    if (v == LBool::Undef) return LBool::Undef;
+    return (v == LBool::True) != p.sign() ? LBool::True : LBool::False;
+  }
+
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  ClauseRef alloc_clause(const std::vector<Lit>& lits, bool learnt);
+  void attach_clause(ClauseRef cref);
+  void detach_clause(ClauseRef cref);
+  void uncheck_enqueue(Lit p, ClauseRef from);
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<Lit>& out_learnt, int& out_btlevel,
+               std::uint32_t& out_lbd);
+  void analyze_final(Lit p);
+  bool lit_redundant(Lit p, std::uint32_t abstract_levels);
+  void cancel_until(int lvl);
+  Lit pick_branch_lit();
+  void var_bump(Var v);
+  void var_decay_all();
+  void reduce_db();
+
+  // Heap helpers.
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  void heap_sift_up(int i);
+  void heap_sift_down(int i);
+};
+
+}  // namespace pdat::sat

@@ -1,0 +1,43 @@
+#include "sim/ternary.h"
+
+namespace pdat {
+
+TernarySim::TernarySim(const Netlist& nl) : nl_(nl), lv_(levelize(nl)) {
+  vals_.assign(nl.num_nets(), Tri::X);
+  flop_q_.assign(nl.num_cells_raw(), Tri::X);
+  reset();
+}
+
+void TernarySim::reset() {
+  for (CellId id : lv_.flops) {
+    flop_q_[id] = nl_.cell(id).init;
+    vals_[nl_.cell(id).out] = flop_q_[id];
+  }
+}
+
+void TernarySim::set_input(NetId net, Tri v) { vals_[net] = v; }
+
+void TernarySim::set_all_inputs(Tri v) {
+  for (const auto& p : nl_.inputs()) {
+    for (NetId n : p.bits) vals_[n] = v;
+  }
+}
+
+void TernarySim::eval() {
+  for (CellId id : lv_.flops) vals_[nl_.cell(id).out] = flop_q_[id];
+  for (CellId id : lv_.comb_order) {
+    const Cell& c = nl_.cell(id);
+    const Tri a = c.in[0] == kNoNet ? Tri::X : vals_[c.in[0]];
+    const Tri b = c.in[1] == kNoNet ? Tri::X : vals_[c.in[1]];
+    const Tri d = c.in[2] == kNoNet ? Tri::X : vals_[c.in[2]];
+    vals_[c.out] = cell_eval_tri(c.kind, a, b, d);
+  }
+}
+
+void TernarySim::step() {
+  eval();
+  for (CellId id : lv_.flops) flop_q_[id] = vals_[nl_.cell(id).in[0]];
+  for (CellId id : lv_.flops) vals_[nl_.cell(id).out] = flop_q_[id];
+}
+
+}  // namespace pdat

@@ -1,0 +1,35 @@
+// Three-valued (0/1/X) single-slot netlist evaluator.
+//
+// Used for (a) checking candidate invariants in the power-on state, where
+// uninitialized flops are X, and (b) X-propagation sanity checks on cores.
+#pragma once
+
+#include <vector>
+
+#include "netlist/levelize.h"
+#include "netlist/netlist.h"
+
+namespace pdat {
+
+class TernarySim {
+ public:
+  explicit TernarySim(const Netlist& nl);
+
+  /// Flops take their init values (including X).
+  void reset();
+
+  void set_input(NetId net, Tri v);
+  void set_all_inputs(Tri v);
+  void eval();
+  void step();
+
+  Tri value(NetId net) const { return vals_[net]; }
+
+ private:
+  const Netlist& nl_;
+  Levelization lv_;
+  std::vector<Tri> vals_;
+  std::vector<Tri> flop_q_;
+};
+
+}  // namespace pdat

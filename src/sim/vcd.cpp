@@ -1,0 +1,82 @@
+#include "sim/vcd.h"
+
+#include <ostream>
+
+namespace pdat {
+
+std::string VcdWriter::code_for(std::size_t index) {
+  // Printable short identifiers: base-94 over '!'..'~'.
+  std::string s;
+  do {
+    s += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return s;
+}
+
+VcdWriter::VcdWriter(std::ostream& os, const Netlist& nl, int slot,
+                     const std::vector<NetId>& extra_nets)
+    : os_(os), slot_(slot) {
+  auto add = [&](const std::string& name, const std::vector<NetId>& bits) {
+    Signal sig;
+    sig.name = name;
+    sig.bits = bits;
+    sig.id = code_for(signals_.size());
+    signals_.push_back(std::move(sig));
+  };
+  for (const auto& p : nl.inputs()) add(p.name, p.bits);
+  for (const auto& p : nl.outputs()) add(p.name, p.bits);
+  for (NetId n : extra_nets) {
+    std::string name = nl.net_name(n);
+    if (name.empty()) name = "net" + std::to_string(n);
+    // VCD identifiers dislike brackets in scalar names; sanitize lightly.
+    for (char& c : name) {
+      if (c == '[' || c == ']') c = '_';
+    }
+    add(name, {n});
+  }
+
+  os_ << "$date pdat $end\n$version pdat VcdWriter $end\n$timescale 1ns $end\n";
+  os_ << "$scope module dut $end\n";
+  for (const auto& s : signals_) {
+    os_ << "$var wire " << s.bits.size() << " " << s.id << " " << s.name;
+    if (s.bits.size() > 1) os_ << " [" << s.bits.size() - 1 << ":0]";
+    os_ << " $end\n";
+  }
+  os_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::sample(const BitSim& sim) {
+  bool stamped = false;
+  for (auto& s : signals_) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < s.bits.size(); ++i) {
+      v |= ((sim.value(s.bits[i]) >> slot_) & 1ULL) << i;
+    }
+    if (!s.first && v == s.last) continue;
+    if (!stamped) {
+      os_ << "#" << time_ << "\n";
+      stamped = true;
+    }
+    if (s.bits.size() == 1) {
+      os_ << (v & 1) << s.id << "\n";
+    } else {
+      os_ << "b";
+      for (std::size_t i = s.bits.size(); i-- > 0;) os_ << ((v >> i) & 1);
+      os_ << " " << s.id << "\n";
+    }
+    s.last = v;
+    s.first = false;
+  }
+  ++time_;
+}
+
+void VcdWriter::finish() {
+  if (finished_) return;
+  os_ << "#" << time_ << "\n";
+  finished_ = true;
+}
+
+VcdWriter::~VcdWriter() { finish(); }
+
+}  // namespace pdat

@@ -1,0 +1,50 @@
+// VCD (value-change-dump) waveform writer for BitSim traces.
+//
+// Records one simulation slot of selected ports/nets each cycle and emits a
+// standard VCD file viewable in GTKWave — handy when debugging divergences
+// between a reduced core and the ISS.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/bitsim.h"
+
+namespace pdat {
+
+class VcdWriter {
+ public:
+  /// Watches all ports of the netlist plus any named internal nets.
+  VcdWriter(std::ostream& os, const Netlist& nl, int slot = 0,
+            const std::vector<NetId>& extra_nets = {});
+
+  /// Samples the simulator's current values; call once per clock cycle
+  /// (after eval()).
+  void sample(const BitSim& sim);
+
+  /// Writes the final timestamp. Called automatically by the destructor.
+  void finish();
+  ~VcdWriter();
+
+ private:
+  struct Signal {
+    std::string name;
+    std::vector<NetId> bits;
+    std::string id;
+    std::uint64_t last = ~0ULL;  // force first emission
+    bool first = true;
+  };
+
+  std::ostream& os_;
+  int slot_;
+  std::vector<Signal> signals_;
+  std::uint64_t time_ = 0;
+  bool finished_ = false;
+
+  static std::string code_for(std::size_t index);
+};
+
+}  // namespace pdat

@@ -1,0 +1,104 @@
+#include "synth/builder.h"
+
+namespace pdat::synth {
+
+Bus Builder::add(const Bus& a, const Bus& b, NetId cin, NetId* cout) {
+  check_same_width(a, b, "add");
+  Bus sum(a.size());
+  NetId carry = (cin == kNoNet) ? bit(false) : cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId axb = xor_(a[i], b[i]);
+    sum[i] = xor_(axb, carry);
+    // carry' = (a&b) | (carry & (a^b)) — as a majority via AOI-free gates.
+    carry = or_(and_(a[i], b[i]), and_(carry, axb));
+  }
+  if (cout != nullptr) *cout = carry;
+  return sum;
+}
+
+Bus Builder::sub(const Bus& a, const Bus& b, NetId* borrow_n) {
+  // a - b = a + ~b + 1; the final carry is 1 iff a >= b (unsigned).
+  NetId carry_out = kNoNet;
+  Bus res = add(a, not_(b), bit(true), &carry_out);
+  if (borrow_n != nullptr) *borrow_n = carry_out;
+  return res;
+}
+
+Bus Builder::neg(const Bus& a) { return add_const(not_(a), 1); }
+
+Bus Builder::add_const(const Bus& a, std::uint64_t value) {
+  return add(a, constant(value, a.size()));
+}
+
+NetId Builder::ult(const Bus& a, const Bus& b) {
+  NetId ge = kNoNet;
+  sub(a, b, &ge);
+  return not_(ge);
+}
+
+NetId Builder::slt(const Bus& a, const Bus& b) {
+  if (a.empty()) throw PdatError("slt: empty");
+  check_same_width(a, b, "slt");
+  // slt = (sign(a) != sign(b)) ? sign(a) : ult(a, b)
+  const NetId sa = a.back();
+  const NetId sb = b.back();
+  const NetId diff_sign = xor_(sa, sb);
+  return mux(diff_sign, ult(a, b), sa);
+}
+
+Bus Builder::shl(const Bus& a, const Bus& amt) {
+  Bus cur = a;
+  for (std::size_t s = 0; s < amt.size(); ++s) {
+    const std::size_t k = std::size_t{1} << s;
+    Bus shifted(cur.size());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      shifted[i] = (i >= k) ? cur[i - k] : bit(false);
+    }
+    cur = mux(amt[s], cur, shifted);
+  }
+  return cur;
+}
+
+Bus Builder::lshr(const Bus& a, const Bus& amt) {
+  Bus cur = a;
+  for (std::size_t s = 0; s < amt.size(); ++s) {
+    const std::size_t k = std::size_t{1} << s;
+    Bus shifted(cur.size());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      shifted[i] = (i + k < cur.size()) ? cur[i + k] : bit(false);
+    }
+    cur = mux(amt[s], cur, shifted);
+  }
+  return cur;
+}
+
+Bus Builder::ashr(const Bus& a, const Bus& amt) {
+  if (a.empty()) throw PdatError("ashr: empty");
+  const NetId sign = a.back();
+  Bus cur = a;
+  for (std::size_t s = 0; s < amt.size(); ++s) {
+    const std::size_t k = std::size_t{1} << s;
+    Bus shifted(cur.size());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      shifted[i] = (i + k < cur.size()) ? cur[i + k] : sign;
+    }
+    cur = mux(amt[s], cur, shifted);
+  }
+  return cur;
+}
+
+Bus Builder::mul(const Bus& a, const Bus& b) {
+  // Shift-and-add array: acc += (a << i) when b[i].
+  const std::size_t w = a.size() + b.size();
+  Bus acc = constant(0, w);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    Bus pp(w, bit(false));
+    for (std::size_t j = 0; j < a.size() && i + j < w; ++j) {
+      pp[i + j] = and_(a[j], b[i]);
+    }
+    acc = add(acc, pp);
+  }
+  return acc;
+}
+
+}  // namespace pdat::synth

@@ -1,0 +1,178 @@
+#include "synth/builder.h"
+
+namespace pdat::synth {
+
+void Builder::check_same_width(const Bus& a, const Bus& b, const char* op) const {
+  if (a.size() != b.size()) {
+    throw PdatError(std::string("width mismatch in ") + op + ": " + std::to_string(a.size()) +
+                    " vs " + std::to_string(b.size()));
+  }
+}
+
+Bus Builder::constant(std::uint64_t value, std::size_t width) {
+  Bus out(width);
+  for (std::size_t i = 0; i < width; ++i) out[i] = bit(((value >> i) & 1) != 0);
+  return out;
+}
+
+NetId Builder::all(std::span<const NetId> bits) {
+  if (bits.empty()) return bit(true);
+  std::vector<NetId> cur(bits.begin(), bits.end());
+  while (cur.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    for (; i + 2 < cur.size(); i += 3) next.push_back(and_(cur[i], cur[i + 1], cur[i + 2]));
+    if (i + 1 < cur.size()) {
+      next.push_back(and_(cur[i], cur[i + 1]));
+    } else if (i < cur.size()) {
+      next.push_back(cur[i]);
+    }
+    cur = std::move(next);
+  }
+  return cur[0];
+}
+
+NetId Builder::any(std::span<const NetId> bits) {
+  if (bits.empty()) return bit(false);
+  std::vector<NetId> cur(bits.begin(), bits.end());
+  while (cur.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    for (; i + 2 < cur.size(); i += 3) next.push_back(or_(cur[i], cur[i + 1], cur[i + 2]));
+    if (i + 1 < cur.size()) {
+      next.push_back(or_(cur[i], cur[i + 1]));
+    } else if (i < cur.size()) {
+      next.push_back(cur[i]);
+    }
+    cur = std::move(next);
+  }
+  return cur[0];
+}
+
+NetId Builder::parity(std::span<const NetId> bits) {
+  if (bits.empty()) return bit(false);
+  std::vector<NetId> cur(bits.begin(), bits.end());
+  while (cur.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    for (; i + 1 < cur.size(); i += 2) next.push_back(xor_(cur[i], cur[i + 1]));
+    if (i < cur.size()) next.push_back(cur[i]);
+    cur = std::move(next);
+  }
+  return cur[0];
+}
+
+Bus Builder::not_(const Bus& a) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = not_(a[i]);
+  return out;
+}
+
+Bus Builder::and_(const Bus& a, const Bus& b) {
+  check_same_width(a, b, "and");
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = and_(a[i], b[i]);
+  return out;
+}
+
+Bus Builder::or_(const Bus& a, const Bus& b) {
+  check_same_width(a, b, "or");
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = or_(a[i], b[i]);
+  return out;
+}
+
+Bus Builder::xor_(const Bus& a, const Bus& b) {
+  check_same_width(a, b, "xor");
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = xor_(a[i], b[i]);
+  return out;
+}
+
+Bus Builder::and_(const Bus& a, NetId b) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = and_(a[i], b);
+  return out;
+}
+
+Bus Builder::mux(NetId s, const Bus& a, const Bus& b) {
+  check_same_width(a, b, "mux");
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = mux(s, a[i], b[i]);
+  return out;
+}
+
+Bus Builder::slice(const Bus& a, std::size_t lo, std::size_t width) {
+  if (lo + width > a.size()) throw PdatError("slice out of range");
+  return Bus(a.begin() + static_cast<std::ptrdiff_t>(lo),
+             a.begin() + static_cast<std::ptrdiff_t>(lo + width));
+}
+
+Bus Builder::concat(const Bus& lo, const Bus& hi) {
+  Bus out = lo;
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+Bus Builder::zext(const Bus& a, std::size_t width) {
+  if (width < a.size()) throw PdatError("zext narrows");
+  Bus out = a;
+  while (out.size() < width) out.push_back(bit(false));
+  return out;
+}
+
+Bus Builder::sext(const Bus& a, std::size_t width) {
+  if (a.empty() || width < a.size()) throw PdatError("sext bad widths");
+  Bus out = a;
+  while (out.size() < width) out.push_back(a.back());
+  return out;
+}
+
+NetId Builder::eq(const Bus& a, const Bus& b) {
+  check_same_width(a, b, "eq");
+  Bus x(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) x[i] = xnor_(a[i], b[i]);
+  return all(x);
+}
+
+NetId Builder::eq_const(const Bus& a, std::uint64_t value) {
+  Bus x(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    x[i] = ((value >> i) & 1) ? a[i] : not_(a[i]);
+  }
+  return all(x);
+}
+
+Bus Builder::mux_tree(const Bus& sel, const std::vector<Bus>& options) {
+  if (options.size() != (std::size_t{1} << sel.size()))
+    throw PdatError("mux_tree: options must be 2^sel bits");
+  std::vector<Bus> cur = options;
+  for (std::size_t lvl = 0; lvl < sel.size(); ++lvl) {
+    std::vector<Bus> next;
+    for (std::size_t i = 0; i < cur.size(); i += 2) {
+      next.push_back(mux(sel[lvl], cur[i], cur[i + 1]));
+    }
+    cur = std::move(next);
+  }
+  return cur[0];
+}
+
+Bus Builder::onehot_mux(const std::vector<NetId>& sels, const std::vector<Bus>& options) {
+  if (sels.size() != options.size() || sels.empty())
+    throw PdatError("onehot_mux: arity mismatch");
+  Bus acc = and_(options[0], sels[0]);
+  for (std::size_t i = 1; i < sels.size(); ++i) {
+    acc = or_(acc, and_(options[i], sels[i]));
+  }
+  return acc;
+}
+
+std::vector<NetId> Builder::decode(const Bus& a) {
+  std::vector<NetId> out;
+  const std::size_t n = std::size_t{1} << a.size();
+  out.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) out.push_back(eq_const(a, v));
+  return out;
+}
+
+}  // namespace pdat::synth

@@ -1,0 +1,69 @@
+#include "synth/builder.h"
+
+namespace pdat::synth {
+
+Bus Builder::reg(const Bus& d, std::uint64_t init) {
+  Bus q(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    q[i] = nl_->add_cell(CellKind::Dff, d[i]);
+    nl_->cell(nl_->driver(q[i])).init = ((init >> i) & 1) ? Tri::T : Tri::F;
+  }
+  return q;
+}
+
+NetId Builder::reg_bit(NetId d, bool init) {
+  const NetId q = nl_->add_cell(CellKind::Dff, d);
+  nl_->cell(nl_->driver(q)).init = init ? Tri::T : Tri::F;
+  return q;
+}
+
+Builder::RegHandle Builder::reg_decl(std::size_t width, std::uint64_t init) {
+  RegHandle r;
+  r.q.resize(width);
+  r.flops.resize(width);
+  const NetId placeholder = nl_->const0();
+  for (std::size_t i = 0; i < width; ++i) {
+    r.q[i] = nl_->add_cell(CellKind::Dff, placeholder);
+    r.flops[i] = nl_->driver(r.q[i]);
+    nl_->cell(r.flops[i]).init = ((init >> i) & 1) ? Tri::T : Tri::F;
+  }
+  return r;
+}
+
+Builder::RegHandle Builder::reg_decl_x(std::size_t width) {
+  RegHandle r = reg_decl(width, 0);
+  for (CellId f : r.flops) nl_->cell(f).init = Tri::X;
+  return r;
+}
+
+void Builder::connect(RegHandle& r, const Bus& d) {
+  if (r.connected) throw PdatError("register connected twice");
+  if (d.size() != r.q.size()) throw PdatError("connect: width mismatch");
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    nl_->cell(r.flops[i]).in[0] = d[i];
+  }
+  r.connected = true;
+}
+
+void Builder::connect_en(RegHandle& r, NetId en, const Bus& d) {
+  connect(r, mux(en, r.q, d));
+}
+
+std::vector<Bus> Builder::regfile(std::size_t entries, std::size_t width, const Bus& waddr,
+                                  NetId wen, const Bus& wdata, bool entry0_zero) {
+  if ((std::size_t{1} << waddr.size()) < entries) throw PdatError("regfile: waddr too narrow");
+  std::vector<Bus> q(entries);
+  for (std::size_t e = 0; e < entries; ++e) {
+    if (e == 0 && entry0_zero) {
+      q[0] = constant(0, width);
+      continue;
+    }
+    const NetId sel = and_(wen, eq_const(waddr, e));
+    RegHandle r = reg_decl(width, 0);
+    connect_en(r, sel, wdata);
+    q[e] = r.q;
+  }
+  return q;
+}
+
+}  // namespace pdat::synth

@@ -1,0 +1,532 @@
+#include "workload/mibench.h"
+
+#include "base/types.h"
+#include "iss/rv32_iss.h"
+
+namespace pdat::workload {
+namespace {
+
+// ---------------------------------------------------------------- networking
+const char* kCrc32 = R"(
+    li s0, 0x1000
+    li t0, 0
+    li t1, 16
+  init:
+    slli t2, t0, 3
+    addi t2, t2, 0x5a
+    add t3, s0, t0
+    sb t2, 0(t3)
+    addi t0, t0, 1
+    blt t0, t1, init
+    li a0, -1
+    li t0, 0
+  crc_byte:
+    add t3, s0, t0
+    lbu t2, 0(t3)
+    xor a0, a0, t2
+    li t4, 8
+  crc_bit:
+    andi t5, a0, 1
+    srli a0, a0, 1
+    beqz t5, noxor
+    li t6, 0xEDB88320
+    xor a0, a0, t6
+  noxor:
+    addi t4, t4, -1
+    bnez t4, crc_bit
+    addi t0, t0, 1
+    blt t0, t1, crc_byte
+    not a0, a0
+    ebreak
+)";
+
+// Bellman-Ford relaxation over a 6-node dense graph (the shortest-path
+// workload of the networking group).
+const char* kDijkstra = R"(
+    li s0, 0x1000        # dist[6]
+    li s1, 0x1100        # w[6][6]
+    # init dist
+    li t0, 1
+    li t1, 999
+    sw x0, 0(s0)
+    sw t1, 4(s0)
+    sw t1, 8(s0)
+    sw t1, 12(s0)
+    sw t1, 16(s0)
+    sw t1, 20(s0)
+    # init weights w[i][j] = ((i+1)*(j+2)) % 9 + 1
+    li t0, 0             # i
+  wi:
+    li t1, 0             # j
+  wj:
+    addi t2, t0, 1
+    addi t3, t1, 2
+    mul t4, t2, t3
+    li t5, 9
+    remu t4, t4, t5
+    addi t4, t4, 1
+    # &w[i][j] = s1 + (i*6+j)*4
+    slli t5, t0, 1
+    add t5, t5, t0       # i*3
+    slli t5, t5, 1       # i*6
+    add t5, t5, t1
+    slli t5, t5, 2
+    add t5, t5, s1
+    sw t4, 0(t5)
+    addi t1, t1, 1
+    li t6, 6
+    blt t1, t6, wj
+    addi t0, t0, 1
+    blt t0, t6, wi
+    # relax 5 times
+    li s2, 0             # round
+  rounds:
+    li t0, 0             # i
+  ri:
+    li t1, 0             # j
+  rj:
+    slli t2, t0, 2
+    add t2, t2, s0
+    lw t3, 0(t2)         # dist[i]
+    slli t4, t0, 1
+    add t4, t4, t0
+    slli t4, t4, 1
+    add t4, t4, t1
+    slli t4, t4, 2
+    add t4, t4, s1
+    lw t5, 0(t4)         # w[i][j]
+    add t3, t3, t5       # cand
+    slli t6, t1, 2
+    add t6, t6, s0
+    lw t5, 0(t6)         # dist[j]
+    bge t3, t5, norelax
+    sw t3, 0(t6)
+  norelax:
+    addi t1, t1, 1
+    li t2, 6
+    blt t1, t2, rj
+    addi t0, t0, 1
+    blt t0, t2, ri
+    addi s2, s2, 1
+    li t2, 5
+    blt s2, t2, rounds
+    # checksum = sum dist
+    li a0, 0
+    li t0, 0
+  acc:
+    slli t1, t0, 2
+    add t1, t1, s0
+    lw t2, 0(t1)
+    add a0, a0, t2
+    addi t0, t0, 1
+    li t3, 6
+    blt t0, t3, acc
+    ebreak
+)";
+
+// Patricia-style bit-trie walk over a batch of keys.
+const char* kPatricia = R"(
+    li a0, 0
+    li s0, 0x12345678    # key seed
+    li s1, 0             # key index
+  keys:
+    li t0, 0             # h
+    li t1, 31            # bit
+  bits:
+    srl t2, s0, t1
+    andi t2, t2, 1
+    slli t0, t0, 1
+    andi t3, t0, 2
+    srli t3, t3, 1
+    xor t2, t2, t3
+    or t0, t0, t2
+    addi t1, t1, -1
+    bge t1, x0, bits
+    add a0, a0, t0
+    li t4, 0x1003F035
+    add s0, s0, t4
+    addi s1, s1, 1
+    li t5, 8
+    blt s1, t5, keys
+    ebreak
+)";
+
+// ------------------------------------------------------------------ security
+const char* kSha = R"(
+    li s0, 0x67452301    # a
+    li s1, 0xEFCDAB89    # b
+    li s2, 0x98BADCFE    # c
+    li s3, 0x10325476    # d
+    li s4, 0xC3D2E1F0    # e
+    li s5, 0             # round
+  rounds:
+    # f = (b & c) | (~b & d)
+    and t0, s1, s2
+    not t1, s1
+    and t1, t1, s3
+    or t0, t0, t1
+    # temp = rotl(a,5) + f + e + K + w
+    slli t2, s0, 5
+    srli t3, s0, 27
+    or t2, t2, t3
+    add t2, t2, t0
+    add t2, t2, s4
+    li t4, 0x5A827999
+    add t2, t2, t4
+    slli t5, s5, 7
+    xor t5, t5, s5
+    add t2, t2, t5
+    # rotate state
+    mv s4, s3
+    mv s3, s2
+    slli t6, s1, 30
+    srli s2, s1, 2
+    or s2, s2, t6
+    mv s1, s0
+    mv s0, t2
+    addi s5, s5, 1
+    li t0, 20
+    blt s5, t0, rounds
+    xor a0, s0, s1
+    xor a0, a0, s2
+    xor a0, a0, s3
+    xor a0, a0, s4
+    ebreak
+)";
+
+const char* kBlowfish = R"(
+    li s0, 0x243F6A88    # L
+    li s1, 0x85A308D3    # R
+    li s2, 0             # round
+    li s3, 0x9E3779B9
+  rounds:
+    # L ^= P[i]  (P derived from the golden-ratio schedule)
+    mv t0, s3
+    slli t1, s2, 2
+    sll t0, t0, t1
+    xor s0, s0, t0
+    # F(L) = ((L<<1) + (L>>3)) ^ (L>>16) + rot
+    slli t2, s0, 1
+    srli t3, s0, 3
+    add t2, t2, t3
+    srli t4, s0, 16
+    xor t2, t2, t4
+    xor s1, s1, t2
+    # swap
+    mv t5, s0
+    mv s0, s1
+    mv s1, t5
+    addi s2, s2, 1
+    li t6, 16
+    blt s2, t6, rounds
+    xor a0, s0, s1
+    ebreak
+)";
+
+// GF(2^8) multiply batch (the Rijndael MixColumns workhorse).
+const char* kRijndael = R"(
+    li a0, 0
+    li s0, 0             # pair index
+  pairs:
+    slli t0, s0, 4
+    addi t0, t0, 0x57    # a
+    andi t0, t0, 0xff
+    slli t1, s0, 3
+    addi t1, t1, 0x13    # b
+    andi t1, t1, 0xff
+    li t2, 0             # acc
+    li t3, 8             # bits
+  gmul:
+    andi t4, t1, 1
+    beqz t4, skipacc
+    xor t2, t2, t0
+  skipacc:
+    andi t5, t0, 0x80
+    slli t0, t0, 1
+    andi t0, t0, 0xff
+    beqz t5, skipred
+    xori t0, t0, 0x1b
+  skipred:
+    srli t1, t1, 1
+    addi t3, t3, -1
+    bnez t3, gmul
+    add a0, a0, t2
+    addi s0, s0, 1
+    li t6, 16
+    blt s0, t6, pairs
+    ebreak
+)";
+
+// ---------------------------------------------------------------- automotive
+const char* kQsort = R"(
+    li s0, 0x1000        # array of 16 words
+    # fill with LCG values
+    li t0, 0
+    li t1, 12345
+  fill:
+    li t2, 1103515245
+    mul t1, t1, t2
+    addi t1, t1, 1013
+    srli t3, t1, 16
+    slli t4, t0, 2
+    add t4, t4, s0
+    sw t3, 0(t4)
+    addi t0, t0, 1
+    li t5, 16
+    blt t0, t5, fill
+    # insertion sort
+    li t0, 1             # i
+  outer:
+    slli t2, t0, 2
+    add t2, t2, s0
+    lw t3, 0(t2)         # key
+    addi t4, t0, -1      # j
+  inner:
+    blt t4, x0, place
+    slli t5, t4, 2
+    add t5, t5, s0
+    lw t6, 0(t5)
+    bge t3, t6, place
+    sw t6, 4(t5)
+    addi t4, t4, -1
+    j inner
+  place:
+    addi t4, t4, 1
+    slli t5, t4, 2
+    add t5, t5, s0
+    sw t3, 0(t5)
+    addi t0, t0, 1
+    li t5, 16
+    blt t0, t5, outer
+    # weighted checksum
+    li a0, 0
+    li t0, 0
+  acc:
+    slli t1, t0, 2
+    add t1, t1, s0
+    lw t2, 0(t1)
+    addi t3, t0, 1
+    mul t2, t2, t3
+    add a0, a0, t2
+    addi t0, t0, 1
+    li t4, 16
+    blt t0, t4, acc
+    ebreak
+)";
+
+const char* kBitcount = R"(
+    li a0, 0
+    li s0, 0xDEADBEEF
+    li s1, 0             # iteration
+  vals:
+    # Kernighan popcount
+    mv t0, s0
+    li t1, 0
+  kern:
+    beqz t0, done_k
+    addi t2, t0, -1
+    and t0, t0, t2
+    addi t1, t1, 1
+    j kern
+  done_k:
+    add a0, a0, t1
+    # shift-mask popcount of the byte-swapped value
+    mv t0, s0
+    li t1, 0
+    li t3, 32
+  shiftc:
+    andi t4, t0, 1
+    add t1, t1, t4
+    srli t0, t0, 1
+    addi t3, t3, -1
+    bnez t3, shiftc
+    add a0, a0, t1
+    li t5, 0x9E3779B9
+    add s0, s0, t5
+    addi s1, s1, 1
+    li t6, 16
+    blt s1, t6, vals
+    ebreak
+)";
+
+const char* kBasicmath = R"(
+    li a0, 0
+    # integer square roots (bitwise method)
+    li s0, 0             # k
+  sqrts:
+    slli t0, s0, 10
+    addi t0, t0, 7
+    mul t0, t0, t0
+    srli t0, t0, 3       # x
+    li t1, 0             # res
+    li t2, 0x4000        # bit = 1<<14
+  sqloop:
+    beqz t2, sqdone
+    add t3, t1, t2
+    srli t1, t1, 1
+    bltu t0, t3, sqskip
+    sub t0, t0, t3
+    add t1, t1, t2
+  sqskip:
+    srli t2, t2, 2
+    j sqloop
+  sqdone:
+    add a0, a0, t1
+    addi s0, s0, 1
+    li t4, 8
+    blt s0, t4, sqrts
+    # gcd chain with rem
+    li s1, 3528
+    li s2, 3780
+  gcd:
+    beqz s2, gcd_done
+    rem t0, s1, s2
+    mv s1, s2
+    mv s2, t0
+    j gcd
+  gcd_done:
+    add a0, a0, s1
+    # a couple of divisions
+    li t1, 1000000
+    li t2, 37
+    div t3, t1, t2
+    add a0, a0, t3
+    divu t3, t1, t2
+    add a0, a0, t3
+    ebreak
+)";
+
+// SUSAN-style image smoothing: 8x8 grayscale image, 3x3 neighbourhood
+// thresholded accumulation (byte loads/stores dominate, like the MiBench
+// automotive susan kernel).
+const char* kSusan = R"(
+    li s0, 0x1000        # image base (8x8 bytes)
+    li s1, 0x1100        # output base
+    # fill image with a gradient-ish pattern
+    li t0, 0
+  fill:
+    slli t1, t0, 2
+    xori t1, t1, 0x35
+    andi t1, t1, 0xff
+    add t2, s0, t0
+    sb t1, 0(t2)
+    addi t0, t0, 1
+    li t3, 64
+    blt t0, t3, fill
+    # for each interior pixel: count neighbours within threshold
+    li a0, 0             # checksum
+    li s2, 1             # y
+  yloop:
+    li s3, 1             # x
+  xloop:
+    slli t0, s2, 3
+    add t0, t0, s3       # idx = y*8+x
+    add t1, s0, t0
+    lbu t2, 0(t1)        # center
+    li t3, 0             # count
+    # neighbours: -9 -8 -7 -1 +1 +7 +8 +9
+    lbu t4, -9(t1)
+    sub t5, t4, t2
+    bge t5, x0, p1
+    sub t5, x0, t5
+  p1:
+    slti t6, t5, 20
+    add t3, t3, t6
+    lbu t4, -8(t1)
+    sub t5, t4, t2
+    bge t5, x0, p2
+    sub t5, x0, t5
+  p2:
+    slti t6, t5, 20
+    add t3, t3, t6
+    lbu t4, -7(t1)
+    sub t5, t4, t2
+    bge t5, x0, p3
+    sub t5, x0, t5
+  p3:
+    slti t6, t5, 20
+    add t3, t3, t6
+    lbu t4, 1(t1)
+    sub t5, t4, t2
+    bge t5, x0, p4
+    sub t5, x0, t5
+  p4:
+    slti t6, t5, 20
+    add t3, t3, t6
+    add t4, s1, t0
+    sb t3, 0(t4)
+    add a0, a0, t3
+    addi s3, s3, 1
+    li t6, 7
+    blt s3, t6, xloop
+    addi s2, s2, 1
+    blt s2, t6, yloop
+    ebreak
+)";
+
+std::vector<Kernel> make_kernels() {
+  return {
+      {"crc32", "networking", kCrc32, 0},
+      {"dijkstra", "networking", kDijkstra, 0},
+      {"patricia", "networking", kPatricia, 0},
+      {"sha", "security", kSha, 0},
+      {"blowfish", "security", kBlowfish, 0},
+      {"rijndael", "security", kRijndael, 0},
+      {"qsort", "automotive", kQsort, 0},
+      {"susan", "automotive", kSusan, 0},
+      {"bitcount", "automotive", kBitcount, 0},
+      {"basicmath", "automotive", kBasicmath, 0},
+  };
+}
+
+}  // namespace
+
+const std::vector<Kernel>& mibench_kernels() {
+  static const std::vector<Kernel> kernels = make_kernels();
+  return kernels;
+}
+
+GroupProfile profile_group(const std::string& group) {
+  GroupProfile gp;
+  gp.group = group;
+  bool any = false;
+  for (const auto& k : mibench_kernels()) {
+    if (group != "all" && k.group != group) continue;
+    any = true;
+    const auto prog = isa::assemble_rv32(k.source);
+    // Static profile + compressibility.
+    for (const auto& [mn, count] : prog.static_profile) {
+      gp.base_used.insert(mn);
+      const auto& spec = isa::rv32_instr(mn);
+      if (spec.ext == isa::RvExt::M) gp.m_used.insert(mn);
+      (void)count;
+    }
+    for (std::uint32_t w : prog.words) {
+      std::string cname;
+      if (isa::rv32_compressible(w, &cname)) gp.c_used.insert(cname);
+    }
+    // Dynamic validation on the ISS.
+    iss::Rv32Iss sim;
+    sim.load_words(0, prog.words);
+    sim.reset();
+    const std::uint64_t steps = sim.run(5000000);
+    if (!sim.halted() || sim.illegal()) {
+      throw PdatError("workload " + k.name + " did not halt cleanly");
+    }
+    if (k.expected != 0 && sim.reg(10) != k.expected) {
+      throw PdatError("workload " + k.name + " produced wrong checksum");
+    }
+    gp.dynamic_instructions += steps;
+  }
+  if (!any) throw PdatError("unknown workload group: " + group);
+  return gp;
+}
+
+isa::RvSubset group_subset(const std::string& group) {
+  const GroupProfile gp = profile_group(group);
+  std::vector<std::string> names(gp.base_used.begin(), gp.base_used.end());
+  names.insert(names.end(), gp.c_used.begin(), gp.c_used.end());
+  return isa::rv32_subset_from_names("mibench-" + group, names);
+}
+
+}  // namespace pdat::workload

@@ -1,0 +1,49 @@
+// MiBench-like embedded kernels in RV32 assembly.
+//
+// The paper profiles MiBench groups (networking / security / automotive,
+// compiled with gcc 9.2) to derive per-group ISA subsets (Table I) and the
+// corresponding reduced Ibex cores (Fig. 5 middle). We reproduce the same
+// structure with hand-written kernels implementing the same algorithms the
+// suite ships: CRC32 / Dijkstra / Patricia (networking), SHA / Blowfish /
+// Rijndael-style GF(2^8) (security), qsort / bitcount / basicmath
+// (automotive). Each kernel halts via ebreak with a checksum in a0 so the
+// ISS and the gate-level cores can be cross-checked.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/rv32_assembler.h"
+#include "isa/rv32_subsets.h"
+
+namespace pdat::workload {
+
+struct Kernel {
+  std::string name;
+  std::string group;        // "networking" | "security" | "automotive"
+  std::string source;       // RV32 assembly
+  std::uint32_t expected;   // checksum the kernel must leave in a0
+};
+
+const std::vector<Kernel>& mibench_kernels();
+
+struct GroupProfile {
+  std::string group;
+  std::set<std::string> base_used;   // 32-bit mnemonics statically present
+  std::set<std::string> c_used;      // c.* forms a C-enabled compiler would emit
+  std::set<std::string> m_used;      // subset of base_used in the M extension
+  std::uint64_t dynamic_instructions = 0;
+};
+
+/// Profiles one group (or "all") across its kernels: assembles, runs on the
+/// ISS (verifying each kernel's checksum), and accumulates the static
+/// profile including compressibility-derived c.* usage.
+GroupProfile profile_group(const std::string& group);
+
+/// ISA subset used by a group: the statically used instructions plus their
+/// compressed forms (Table I row -> Fig. 5 variant input).
+isa::RvSubset group_subset(const std::string& group);
+
+}  // namespace pdat::workload

@@ -1,0 +1,299 @@
+#include "workload/mibench_thumb.h"
+
+#include "base/types.h"
+#include "iss/thumb_iss.h"
+
+namespace pdat::workload {
+namespace {
+
+const char* kCrc32T = R"(
+    li r4, 0x1000
+    movs r0, #0          @ i
+    movs r1, #16
+  init:
+    lsls r2, r0, #3
+    adds r2, #90
+    strb r2, [r4, r0]
+    adds r0, #1
+    cmp r0, r1
+    blt init
+    movs r0, #0
+    mvns r0, r0          @ crc = 0xffffffff
+    movs r5, #0          @ i
+  byteloop:
+    ldrb r2, [r4, r5]
+    eors r0, r2
+    movs r6, #8
+  bitloop:
+    movs r3, #1
+    ands r3, r0
+    lsrs r0, r0, #1
+    cmp r3, #0
+    beq noxor
+    li r7, 0xEDB88320
+    eors r0, r7
+  noxor:
+    subs r6, #1
+    bne bitloop
+    adds r5, #1
+    cmp r5, r1
+    blt byteloop
+    mvns r0, r0
+    bkpt #0
+)";
+
+const char* kPatriciaT = R"(
+    movs r0, #0          @ sum
+    li r4, 0x12345678    @ key
+    movs r5, #0          @ index
+  keys:
+    movs r1, #0          @ h
+    movs r2, #31         @ bit
+  bits:
+    mov r3, r4
+    lsrs r3, r2
+    movs r6, #1
+    ands r3, r6
+    lsls r1, r1, #1
+    movs r7, #2
+    ands r7, r1
+    lsrs r7, r7, #1
+    eors r3, r7
+    orrs r1, r3
+    subs r2, #1
+    bpl bits
+    add r0, r1
+    li r6, 0x1003F035
+    add r4, r6
+    adds r5, #1
+    cmp r5, #8
+    blt keys
+    bkpt #0
+)";
+
+const char* kShaT = R"(
+    li r0, 0x67452301    @ a
+    li r1, 0xEFCDAB89    @ b
+    li r2, 0x98BADCFE    @ c
+    li r3, 0x10325476    @ d
+    li r4, 0xC3D2E1F0    @ e
+    movs r5, #0          @ round
+    push {r0, r1}
+    pop {r0, r1}
+  rounds:
+    mov r6, r1
+    ands r6, r2          @ b & c
+    mov r7, r1
+    mvns r7, r7
+    ands r7, r3          @ ~b & d
+    orrs r6, r7          @ f
+    mov r7, r0
+    lsls r7, r7, #5
+    adds r6, r6, r7      @ f + (a << 5)
+    mov r7, r0
+    lsrs r7, r7, #27
+    adds r6, r6, r7      @ ... | (a >> 27)
+    adds r6, r6, r4      @ + e
+    li r7, 0x5A827999
+    adds r6, r6, r7
+    lsls r7, r5, #7
+    eors r7, r5
+    adds r6, r6, r7
+    @ rotate state
+    mov r4, r3
+    mov r3, r2
+    mov r2, r1
+    lsls r7, r2, #30
+    lsrs r2, r2, #2
+    orrs r2, r7
+    mov r1, r0
+    mov r0, r6
+    adds r5, #1
+    cmp r5, #20
+    blt rounds
+    eors r0, r1
+    eors r0, r2
+    eors r0, r3
+    eors r0, r4
+    bkpt #0
+)";
+
+const char* kRijndaelT = R"(
+    movs r0, #0          @ sum
+    movs r5, #0          @ pair index
+  pairs:
+    lsls r1, r5, #4
+    adds r1, #87         @ a
+    movs r7, #255
+    ands r1, r7
+    lsls r2, r5, #3
+    adds r2, #19         @ b
+    ands r2, r7
+    movs r3, #0          @ acc
+    movs r4, #8          @ bits
+  gmul:
+    movs r6, #1
+    ands r6, r2
+    beq skipacc
+    eors r3, r1
+  skipacc:
+    movs r6, #128
+    ands r6, r1
+    lsls r1, r1, #1
+    ands r1, r7
+    cmp r6, #0
+    beq skipred
+    movs r6, #27
+    eors r1, r6
+  skipred:
+    lsrs r2, r2, #1
+    subs r4, #1
+    bne gmul
+    add r0, r3
+    adds r5, #1
+    cmp r5, #16
+    blt pairs
+    bkpt #0
+)";
+
+const char* kQsortT = R"(
+    li r4, 0x1000        @ array base
+    movs r0, #0
+    li r1, 12345
+  fill:
+    li r2, 0x41C64E6D
+    muls r1, r2
+    li r2, 1013
+    add r1, r2
+    mov r2, r1
+    lsrs r2, r2, #16
+    lsls r3, r0, #2
+    str r2, [r4, r3]
+    adds r0, #1
+    cmp r0, #16
+    blt fill
+    movs r0, #1          @ i
+  outer:
+    lsls r2, r0, #2
+    ldr r3, [r4, r2]     @ key
+    subs r5, r0, #1      @ j
+  inner:
+    bmi place
+    lsls r6, r5, #2
+    ldr r7, [r4, r6]
+    cmp r3, r7
+    bge place
+    adds r6, #4
+    str r7, [r4, r6]
+    subs r5, #1
+    b inner
+  place:
+    adds r5, #1
+    lsls r6, r5, #2
+    str r3, [r4, r6]
+    adds r0, #1
+    cmp r0, #16
+    blt outer
+    movs r0, #0          @ checksum
+    movs r1, #0
+  acc:
+    lsls r2, r1, #2
+    ldr r3, [r4, r2]
+    adds r2, r1, #1
+    muls r3, r2
+    add r0, r3
+    adds r1, #1
+    cmp r1, #16
+    blt acc
+    bkpt #0
+)";
+
+const char* kBitcountT = R"(
+    movs r0, #0          @ sum
+    li r4, 0xDEADBEEF
+    movs r5, #0          @ iter
+  vals:
+    mov r1, r4
+    bl popcount          @ kernighan, as a function (exercises bl)
+    add r0, r2
+    mov r1, r4           @ shift-mask
+    movs r2, #0
+    movs r3, #32
+  shiftc:
+    movs r6, #1
+    ands r6, r1
+    add r2, r6
+    lsrs r1, r1, #1
+    subs r3, #1
+    bne shiftc
+    add r0, r2
+    li r6, 0x9E3779B9
+    add r4, r6
+    adds r5, #1
+    cmp r5, #16
+    blt vals
+    bkpt #0
+  popcount:
+    push {r3, lr}
+    movs r2, #0
+  kern:
+    cmp r1, #0
+    beq donek
+    subs r3, r1, #1
+    ands r1, r3
+    adds r2, #1
+    b kern
+  donek:
+    pop {r3, pc}
+)";
+
+std::vector<ThumbKernel> make_kernels() {
+  return {
+      {"crc32", "networking", kCrc32T},
+      {"patricia", "networking", kPatriciaT},
+      {"sha", "security", kShaT},
+      {"rijndael", "security", kRijndaelT},
+      {"qsort", "automotive", kQsortT},
+      {"bitcount", "automotive", kBitcountT},
+  };
+}
+
+}  // namespace
+
+const std::vector<ThumbKernel>& mibench_thumb_kernels() {
+  static const std::vector<ThumbKernel> kernels = make_kernels();
+  return kernels;
+}
+
+ThumbGroupProfile profile_thumb_group(const std::string& group) {
+  ThumbGroupProfile gp;
+  gp.group = group;
+  bool any = false;
+  for (const auto& k : mibench_thumb_kernels()) {
+    if (group != "all" && k.group != group) continue;
+    any = true;
+    const auto prog = isa::assemble_thumb(k.source);
+    for (const auto& [name, count] : prog.static_profile) {
+      gp.used.insert(name);
+      (void)count;
+    }
+    iss::ThumbIss sim;
+    sim.load_halfwords(0, prog.halves);
+    sim.reset();
+    const std::uint64_t steps = sim.run(5000000);
+    if (!sim.halted() || sim.undefined()) {
+      throw PdatError("thumb workload " + k.name + " did not halt cleanly");
+    }
+    gp.dynamic_halfwords += steps;
+  }
+  if (!any) throw PdatError("unknown thumb workload group: " + group);
+  return gp;
+}
+
+isa::ThumbSubset thumb_group_subset(const std::string& group) {
+  const ThumbGroupProfile gp = profile_thumb_group(group);
+  std::vector<std::string> names(gp.used.begin(), gp.used.end());
+  return isa::thumb_subset_from_names("mibench-" + group, names);
+}
+
+}  // namespace pdat::workload

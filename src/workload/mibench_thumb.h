@@ -1,0 +1,31 @@
+// ARMv6-M (Thumb) ports of the MiBench-like kernels, used to derive the
+// Cortex-M0 rows of Table I and the "MiBench" variants of Fig. 6.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/thumb_assembler.h"
+#include "isa/thumb_subsets.h"
+
+namespace pdat::workload {
+
+struct ThumbKernel {
+  std::string name;
+  std::string group;
+  std::string source;
+};
+
+const std::vector<ThumbKernel>& mibench_thumb_kernels();
+
+struct ThumbGroupProfile {
+  std::string group;
+  std::set<std::string> used;  // canonical spec names statically present
+  std::uint64_t dynamic_halfwords = 0;
+};
+
+ThumbGroupProfile profile_thumb_group(const std::string& group);
+isa::ThumbSubset thumb_group_subset(const std::string& group);
+
+}  // namespace pdat::workload

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/types.h"
+
+namespace pdat {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Tri, NotTruthTable) {
+  EXPECT_EQ(tri_not(Tri::F), Tri::T);
+  EXPECT_EQ(tri_not(Tri::T), Tri::F);
+  EXPECT_EQ(tri_not(Tri::X), Tri::X);
+}
+
+TEST(Tri, AndAbsorbsZeroThroughX) {
+  EXPECT_EQ(tri_and(Tri::F, Tri::X), Tri::F);
+  EXPECT_EQ(tri_and(Tri::X, Tri::F), Tri::F);
+  EXPECT_EQ(tri_and(Tri::T, Tri::X), Tri::X);
+  EXPECT_EQ(tri_and(Tri::T, Tri::T), Tri::T);
+}
+
+TEST(Tri, OrAbsorbsOneThroughX) {
+  EXPECT_EQ(tri_or(Tri::T, Tri::X), Tri::T);
+  EXPECT_EQ(tri_or(Tri::X, Tri::T), Tri::T);
+  EXPECT_EQ(tri_or(Tri::F, Tri::X), Tri::X);
+}
+
+TEST(Tri, XorPropagatesX) {
+  EXPECT_EQ(tri_xor(Tri::X, Tri::F), Tri::X);
+  EXPECT_EQ(tri_xor(Tri::T, Tri::T), Tri::F);
+  EXPECT_EQ(tri_xor(Tri::T, Tri::F), Tri::T);
+}
+
+TEST(Tri, MuxXSelectAgreesOnlyWhenBranchesEqual) {
+  EXPECT_EQ(tri_mux(Tri::X, Tri::T, Tri::T), Tri::T);
+  EXPECT_EQ(tri_mux(Tri::X, Tri::T, Tri::F), Tri::X);
+  EXPECT_EQ(tri_mux(Tri::F, Tri::T, Tri::F), Tri::T);
+  EXPECT_EQ(tri_mux(Tri::T, Tri::T, Tri::F), Tri::F);
+}
+
+}  // namespace
+}  // namespace pdat

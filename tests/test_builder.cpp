@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "sim/bitsim.h"
+#include "synth/builder.h"
+
+namespace pdat {
+namespace {
+
+// Harness: build a 2-input, 1-output word circuit and compare against a
+// golden uint32 function on random vectors (64 at a time).
+class ArithTest : public ::testing::Test {
+ protected:
+  void check_binary(const std::function<synth::Bus(synth::Builder&, const synth::Bus&,
+                                                   const synth::Bus&)>& build,
+                    const std::function<std::uint32_t(std::uint32_t, std::uint32_t)>& golden,
+                    int rounds = 16, std::uint64_t seed = 77) {
+    Netlist nl;
+    synth::Builder bld(nl);
+    auto a = bld.input("a", 32);
+    auto b = bld.input("b", 32);
+    synth::Bus y = build(bld, a, b);
+    if (y.size() > 32) y.resize(32);
+    bld.output("y", y);
+    BitSim sim(nl);
+    Rng rng(seed);
+    const Port& pa = *nl.find_input("a");
+    const Port& pb = *nl.find_input("b");
+    const Port& py = *nl.find_output("y");
+    for (int r = 0; r < rounds; ++r) {
+      std::uint64_t va[64], vb[64];
+      for (int i = 0; i < 64; ++i) {
+        va[i] = rng.next() & 0xffffffff;
+        vb[i] = rng.next() & 0xffffffff;
+      }
+      // Include corner values in slot 0..5.
+      va[0] = 0; vb[0] = 0;
+      va[1] = 0xffffffff; vb[1] = 0xffffffff;
+      va[2] = 0x80000000; vb[2] = 1;
+      va[3] = 1; vb[3] = 0x80000000;
+      va[4] = 0x7fffffff; vb[4] = 0xffffffff;
+      va[5] = 0xffffffff; vb[5] = 0;
+      sim.set_port_per_slot(pa, va);
+      sim.set_port_per_slot(pb, vb);
+      sim.eval();
+      for (int i = 0; i < 64; ++i) {
+        const std::uint32_t got = static_cast<std::uint32_t>(sim.read_port(py, i));
+        std::uint32_t want = golden(static_cast<std::uint32_t>(va[i]),
+                                    static_cast<std::uint32_t>(vb[i]));
+        if (py.bits.size() < 32) want &= (1u << py.bits.size()) - 1;
+        ASSERT_EQ(got, want) << "a=" << va[i] << " b=" << vb[i];
+      }
+    }
+  }
+};
+
+TEST_F(ArithTest, Add) {
+  check_binary([](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) { return b.add(x, y); },
+               [](std::uint32_t x, std::uint32_t y) { return x + y; });
+}
+
+TEST_F(ArithTest, Sub) {
+  check_binary([](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) { return b.sub(x, y); },
+               [](std::uint32_t x, std::uint32_t y) { return x - y; });
+}
+
+TEST_F(ArithTest, Neg) {
+  check_binary([](synth::Builder& b, const synth::Bus& x, const synth::Bus&) { return b.neg(x); },
+               [](std::uint32_t x, std::uint32_t) { return static_cast<std::uint32_t>(-static_cast<std::int64_t>(x)); });
+}
+
+TEST_F(ArithTest, AddConst) {
+  check_binary(
+      [](synth::Builder& b, const synth::Bus& x, const synth::Bus&) { return b.add_const(x, 12345); },
+      [](std::uint32_t x, std::uint32_t) { return x + 12345; });
+}
+
+TEST_F(ArithTest, BitwiseOps) {
+  check_binary([](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) { return b.and_(x, y); },
+               [](std::uint32_t x, std::uint32_t y) { return x & y; });
+  check_binary([](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) { return b.or_(x, y); },
+               [](std::uint32_t x, std::uint32_t y) { return x | y; });
+  check_binary([](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) { return b.xor_(x, y); },
+               [](std::uint32_t x, std::uint32_t y) { return x ^ y; });
+  check_binary([](synth::Builder& b, const synth::Bus& x, const synth::Bus&) { return b.not_(x); },
+               [](std::uint32_t x, std::uint32_t) { return ~x; });
+}
+
+TEST_F(ArithTest, Comparisons) {
+  check_binary(
+      [](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) {
+        return synth::Bus{b.eq(x, y)};
+      },
+      [](std::uint32_t x, std::uint32_t y) { return static_cast<std::uint32_t>(x == y); });
+  check_binary(
+      [](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) {
+        return synth::Bus{b.ult(x, y)};
+      },
+      [](std::uint32_t x, std::uint32_t y) { return static_cast<std::uint32_t>(x < y); });
+  check_binary(
+      [](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) {
+        return synth::Bus{b.slt(x, y)};
+      },
+      [](std::uint32_t x, std::uint32_t y) {
+        return static_cast<std::uint32_t>(static_cast<std::int32_t>(x) < static_cast<std::int32_t>(y));
+      });
+  check_binary(
+      [](synth::Builder& b, const synth::Bus& x, const synth::Bus&) {
+        return synth::Bus{b.is_zero(x)};
+      },
+      [](std::uint32_t x, std::uint32_t) { return static_cast<std::uint32_t>(x == 0); });
+}
+
+TEST_F(ArithTest, Shifts) {
+  check_binary(
+      [](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) {
+        return b.shl(x, synth::Builder::slice(y, 0, 5));
+      },
+      [](std::uint32_t x, std::uint32_t y) { return x << (y & 31); });
+  check_binary(
+      [](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) {
+        return b.lshr(x, synth::Builder::slice(y, 0, 5));
+      },
+      [](std::uint32_t x, std::uint32_t y) { return x >> (y & 31); });
+  check_binary(
+      [](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) {
+        return b.ashr(x, synth::Builder::slice(y, 0, 5));
+      },
+      [](std::uint32_t x, std::uint32_t y) {
+        return static_cast<std::uint32_t>(static_cast<std::int32_t>(x) >> (y & 31));
+      });
+}
+
+TEST_F(ArithTest, MulLow32) {
+  check_binary(
+      [](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) {
+        auto p = b.mul(x, y);
+        p.resize(32);
+        return p;
+      },
+      [](std::uint32_t x, std::uint32_t y) { return x * y; }, 6);
+}
+
+TEST_F(ArithTest, MulHigh32Unsigned) {
+  check_binary(
+      [](synth::Builder& b, const synth::Bus& x, const synth::Bus& y) {
+        return synth::Builder::slice(b.mul(x, y), 32, 32);
+      },
+      [](std::uint32_t x, std::uint32_t y) {
+        return static_cast<std::uint32_t>((static_cast<std::uint64_t>(x) * y) >> 32);
+      },
+      6);
+}
+
+TEST(Builder, ConstantAndExtension) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto a = b.input("a", 4);
+  b.output("z", b.zext(a, 8));
+  b.output("s", b.sext(a, 8));
+  b.output("k", b.constant(0xb, 4));
+  BitSim sim(nl);
+  sim.set_port_uniform(*nl.find_input("a"), 0x9);  // negative in 4 bits
+  sim.eval();
+  EXPECT_EQ(sim.read_port(*nl.find_output("z"), 0), 0x09u);
+  EXPECT_EQ(sim.read_port(*nl.find_output("s"), 0), 0xf9u);
+  EXPECT_EQ(sim.read_port(*nl.find_output("k"), 0), 0x0bu);
+}
+
+TEST(Builder, MuxTreeSelectsEveryOption) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto sel = b.input("sel", 3);
+  std::vector<synth::Bus> options;
+  for (std::uint64_t i = 0; i < 8; ++i) options.push_back(b.constant(i * 3 + 1, 8));
+  b.output("y", b.mux_tree(sel, options));
+  BitSim sim(nl);
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    sim.set_port_uniform(*nl.find_input("sel"), s);
+    sim.eval();
+    EXPECT_EQ(sim.read_port(*nl.find_output("y"), 0), s * 3 + 1);
+  }
+}
+
+TEST(Builder, OnehotMuxAndDecode) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto sel = b.input("sel", 2);
+  auto dec = b.decode(sel);
+  std::vector<synth::Bus> options;
+  for (std::uint64_t i = 0; i < 4; ++i) options.push_back(b.constant(0x10 + i, 8));
+  b.output("y", b.onehot_mux(dec, options));
+  synth::Bus dec_bus(dec.begin(), dec.end());
+  b.output("d", dec_bus);
+  BitSim sim(nl);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    sim.set_port_uniform(*nl.find_input("sel"), s);
+    sim.eval();
+    EXPECT_EQ(sim.read_port(*nl.find_output("y"), 0), 0x10 + s);
+    EXPECT_EQ(sim.read_port(*nl.find_output("d"), 0), 1ull << s);
+  }
+}
+
+TEST(Builder, RegisterFeedbackCounter) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto r = b.reg_decl(8, 0);
+  b.connect(r, b.add_const(r.q, 1));
+  b.output("count", r.q);
+  BitSim sim(nl);
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    sim.eval();
+    EXPECT_EQ(sim.read_port(*nl.find_output("count"), 0), t & 0xff);
+    sim.latch();
+  }
+}
+
+TEST(Builder, EnabledRegisterHolds) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto en = b.input("en", 1);
+  auto d = b.input("d", 8);
+  auto r = b.reg_decl(8, 0x55);
+  b.connect_en(r, en[0], d);
+  b.output("q", r.q);
+  BitSim sim(nl);
+  sim.set_port_uniform(*nl.find_input("d"), 0xaa);
+  sim.set_port_uniform(*nl.find_input("en"), 0);
+  sim.step();
+  sim.eval();
+  EXPECT_EQ(sim.read_port(*nl.find_output("q"), 0), 0x55u);
+  sim.set_port_uniform(*nl.find_input("en"), 1);
+  sim.step();
+  sim.eval();
+  EXPECT_EQ(sim.read_port(*nl.find_output("q"), 0), 0xaau);
+}
+
+TEST(Builder, RegfileWriteAndReadBack) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto waddr = b.input("waddr", 3);
+  auto wen = b.input("wen", 1);
+  auto wdata = b.input("wdata", 8);
+  auto raddr = b.input("raddr", 3);
+  auto regs = b.regfile(8, 8, waddr, wen[0], wdata, /*entry0_zero=*/true);
+  b.output("rdata", b.mux_tree(raddr, regs));
+  BitSim sim(nl);
+  // Write 0x40+i to every register i.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    sim.set_port_uniform(*nl.find_input("waddr"), i);
+    sim.set_port_uniform(*nl.find_input("wen"), 1);
+    sim.set_port_uniform(*nl.find_input("wdata"), 0x40 + i);
+    sim.step();
+  }
+  sim.set_port_uniform(*nl.find_input("wen"), 0);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    sim.set_port_uniform(*nl.find_input("raddr"), i);
+    sim.eval();
+    const std::uint64_t want = (i == 0) ? 0 : 0x40 + i;  // x0 hard-zero
+    EXPECT_EQ(sim.read_port(*nl.find_output("rdata"), 0), want);
+  }
+}
+
+TEST(Builder, WidthMismatchThrows) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto a = b.input("a", 4);
+  auto c = b.input("c", 5);
+  EXPECT_THROW(b.add(a, c), PdatError);
+  EXPECT_THROW(b.mux(a[0], a, c), PdatError);
+  EXPECT_THROW(synth::Builder::slice(a, 2, 4), PdatError);
+  EXPECT_THROW(b.sext(c, 4), PdatError);
+}
+
+}  // namespace
+}  // namespace pdat

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "cell/cell_library.h"
+
+namespace pdat {
+namespace {
+
+class AllKinds : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllKinds, NameRoundTrips) {
+  const auto kind = static_cast<CellKind>(GetParam());
+  EXPECT_EQ(cell_kind_from_name(cell_name(kind)), kind);
+}
+
+TEST_P(AllKinds, PinNamesNonEmptyUpToArity) {
+  const auto kind = static_cast<CellKind>(GetParam());
+  const int n = cell_num_inputs(kind);
+  for (int i = 0; i < n; ++i) EXPECT_FALSE(cell_input_pin(kind, i).empty());
+  EXPECT_FALSE(cell_output_pin(kind).empty());
+}
+
+TEST_P(AllKinds, TernaryAgreesWithBooleanOnDefinedInputs) {
+  const auto kind = static_cast<CellKind>(GetParam());
+  const int n = cell_num_inputs(kind);
+  for (int bits = 0; bits < (1 << n); ++bits) {
+    const std::uint64_t a = (bits & 1) ? ~0ULL : 0;
+    const std::uint64_t b = (bits & 2) ? ~0ULL : 0;
+    const std::uint64_t c = (bits & 4) ? ~0ULL : 0;
+    const std::uint64_t v64 = cell_eval64(kind, a, b, c) & 1;
+    const Tri vt = cell_eval_tri(kind, (bits & 1) ? Tri::T : Tri::F, (bits & 2) ? Tri::T : Tri::F,
+                                 (bits & 4) ? Tri::T : Tri::F);
+    ASSERT_NE(vt, Tri::X);
+    EXPECT_EQ(v64, vt == Tri::T ? 1u : 0u) << cell_name(kind) << " inputs " << bits;
+  }
+}
+
+TEST_P(AllKinds, TernaryXIsSoundOverApproximation) {
+  // If the ternary result with some X inputs is definite, then every
+  // completion of the X inputs must produce that same boolean value.
+  const auto kind = static_cast<CellKind>(GetParam());
+  const int n = cell_num_inputs(kind);
+  const Tri vals[] = {Tri::F, Tri::T, Tri::X};
+  for (int t0 = 0; t0 < 3; ++t0) {
+    for (int t1 = 0; t1 < (n >= 2 ? 3 : 1); ++t1) {
+      for (int t2 = 0; t2 < (n >= 3 ? 3 : 1); ++t2) {
+        const Tri ta = vals[t0], tb = vals[t1], tc = vals[t2];
+        const Tri res = cell_eval_tri(kind, ta, tb, tc);
+        if (res == Tri::X) continue;
+        for (int c0 = 0; c0 < 2; ++c0) {
+          for (int c1 = 0; c1 < 2; ++c1) {
+            for (int c2 = 0; c2 < 2; ++c2) {
+              auto pick = [](Tri t, int c) { return t == Tri::X ? (c != 0) : (t == Tri::T); };
+              const std::uint64_t a = pick(ta, c0) ? ~0ULL : 0;
+              const std::uint64_t b = pick(tb, c1) ? ~0ULL : 0;
+              const std::uint64_t c = pick(tc, c2) ? ~0ULL : 0;
+              EXPECT_EQ(cell_eval64(kind, a, b, c) & 1, res == Tri::T ? 1u : 0u)
+                  << cell_name(kind);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, AllKinds,
+                         ::testing::Range(0, static_cast<int>(kNumCellKinds)));
+
+TEST(CellLibrary, AreasArePositiveForGates) {
+  for (std::size_t i = 0; i < kNumCellKinds; ++i) {
+    const auto kind = static_cast<CellKind>(i);
+    if (cell_is_const(kind)) {
+      EXPECT_EQ(cell_area(kind), 0.0);
+    } else {
+      EXPECT_GT(cell_area(kind), 0.0);
+    }
+  }
+}
+
+TEST(CellLibrary, UnknownNameThrows) {
+  EXPECT_THROW(cell_kind_from_name("FOO_X1"), PdatError);
+}
+
+TEST(CellLibrary, DffIsTheOnlySequentialKind) {
+  for (std::size_t i = 0; i < kNumCellKinds; ++i) {
+    const auto kind = static_cast<CellKind>(i);
+    EXPECT_EQ(cell_is_sequential(kind), kind == CellKind::Dff);
+  }
+}
+
+}  // namespace
+}  // namespace pdat

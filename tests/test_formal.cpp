@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include "formal/bmc.h"
+#include "formal/candidates.h"
+#include "formal/cnf_encoder.h"
+#include "formal/induction.h"
+#include "sim/bitsim.h"
+#include "synth/builder.h"
+#include "test_util.h"
+
+namespace pdat {
+namespace {
+
+GateProperty const0(NetId n) {
+  GateProperty p;
+  p.kind = PropKind::Const0;
+  p.target = n;
+  return p;
+}
+
+GateProperty const1(NetId n) {
+  GateProperty p;
+  p.kind = PropKind::Const1;
+  p.target = n;
+  return p;
+}
+
+GateProperty implies(NetId a, NetId b) {
+  GateProperty p;
+  p.kind = PropKind::Implies;
+  p.a = a;
+  p.b = b;
+  return p;
+}
+
+// --- frame encoding consistency ---------------------------------------------
+
+class FrameEncoding : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrameEncoding, ModelMatchesSimulator) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Netlist nl = test::random_netlist(seed, 6, 80, 8, 4);
+  FrameEncoder enc(nl);
+  sat::Solver s;
+  const Frame f = enc.encode(s);
+  // Pin primary inputs and flop outputs to random values; every other net
+  // must then take exactly the simulated value.
+  BitSim sim(nl);
+  Rng rng(seed * 31 + 7);
+  for (const auto& p : nl.inputs()) {
+    for (NetId n : p.bits) {
+      const bool v = rng.chance(128);
+      sim.set_input(n, v ? ~0ULL : 0);
+      s.add_clause(f.lit(n, v));
+    }
+  }
+  for (CellId flop : sim.levels().flops) {
+    const bool v = rng.chance(128);
+    sim.set_flop_state(flop, v ? ~0ULL : 0);
+    s.add_clause(f.lit(nl.cell(flop).out, v));
+  }
+  sim.eval();
+  ASSERT_EQ(s.solve(), sat::SolveResult::Sat);
+  for (CellId id : sim.levels().comb_order) {
+    const NetId n = nl.cell(id).out;
+    EXPECT_EQ(s.model_value(f.net_var[n]), sim.value(n) != 0) << "net " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameEncoding, ::testing::Range(1, 13));
+
+TEST(FrameEncoding, LinkTransfersState) {
+  // Counter: q <= q + 1 (2 bits). After linking two frames with q0 = 1,
+  // frame 1 must show q = 2.
+  Netlist nl;
+  synth::Builder b(nl);
+  auto r = b.reg_decl(2, 0);
+  b.connect(r, b.add_const(r.q, 1));
+  b.output("q", r.q);
+  FrameEncoder enc(nl);
+  sat::Solver s;
+  const Frame f0 = enc.encode(s);
+  const Frame f1 = enc.encode(s);
+  enc.link(s, f0, f1);
+  s.add_clause(f0.lit(r.q[0], true));
+  s.add_clause(f0.lit(r.q[1], false));
+  ASSERT_EQ(s.solve(), sat::SolveResult::Sat);
+  EXPECT_FALSE(s.model_value(f1.net_var[r.q[0]]));
+  EXPECT_TRUE(s.model_value(f1.net_var[r.q[1]]));
+}
+
+// --- induction ----------------------------------------------------------------
+
+TEST(Induction, EnableConstrainedCounterStaysZero) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto en = b.input("en", 1);
+  auto r = b.reg_decl(4, 0);
+  b.connect(r, b.mux(en[0], r.q, b.add_const(r.q, 1)));
+  b.output("q", r.q);
+  // Environment: en == 0, i.e. assume NOT(en).
+  Environment env;
+  env.add_assume(b.not_(en[0]));
+
+  std::vector<GateProperty> cands;
+  for (NetId n : r.q) cands.push_back(const0(n));
+  InductionStats st;
+  auto proven = prove_invariants(nl, env, cands, {}, &st);
+  EXPECT_EQ(proven.size(), 4u);
+  EXPECT_EQ(st.proven, 4u);
+}
+
+TEST(Induction, UnconstrainedCounterBitsKilled) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto en = b.input("en", 1);
+  auto r = b.reg_decl(4, 0);
+  b.connect(r, b.mux(en[0], r.q, b.add_const(r.q, 1)));
+  b.output("q", r.q);
+  Environment env;  // no restriction
+  std::vector<GateProperty> cands;
+  for (NetId n : r.q) cands.push_back(const0(n));
+  auto proven = prove_invariants(nl, env, cands);
+  EXPECT_TRUE(proven.empty());
+}
+
+TEST(Induction, MutualInductionChain) {
+  // q1 <= en (en constrained to 0), q2 <= q1. "q2 == 0" is not 1-inductive
+  // alone but is provable together with "q1 == 0".
+  Netlist nl;
+  synth::Builder b(nl);
+  auto en = b.input("en", 1);
+  auto r1 = b.reg_decl(1, 0);
+  b.connect(r1, synth::Bus{en[0]});
+  auto r2 = b.reg_decl(1, 0);
+  b.connect(r2, r1.q);
+  b.output("q", r2.q);
+  Environment env;
+  env.add_assume(b.not_(en[0]));
+
+  // Alone: killed (the inductive hypothesis lacks q1 == 0).
+  auto alone = prove_invariants(nl, env, {const0(r2.q[0])});
+  EXPECT_TRUE(alone.empty());
+
+  // Together: both proven.
+  auto both = prove_invariants(nl, env, {const0(r1.q[0]), const0(r2.q[0])});
+  EXPECT_EQ(both.size(), 2u);
+}
+
+TEST(Induction, DeeperKProvesWhatOneInductionCannot) {
+  // q1 <= en (env forces en == 0), q2 <= q1. With ONLY "q2 == 0" as a
+  // candidate, 1-induction fails (q1 is unconstrained in the hypothesis)
+  // but 2-induction succeeds: assuming q2==0 at t and t+1 pins the path
+  // en@t -> q1@t+1 -> q2@t+2 through the environment.
+  Netlist nl;
+  synth::Builder b(nl);
+  auto en = b.input("en", 1);
+  auto r1 = b.reg_decl(1, 0);
+  b.connect(r1, synth::Bus{en[0]});
+  auto r2 = b.reg_decl(1, 0);
+  b.connect(r2, r1.q);
+  b.output("q", r2.q);
+  Environment env;
+  env.add_assume(b.not_(en[0]));
+
+  InductionOptions k1;
+  k1.k = 1;
+  EXPECT_TRUE(prove_invariants(nl, env, {const0(r2.q[0])}, k1).empty());
+
+  InductionOptions k2;
+  k2.k = 2;
+  EXPECT_EQ(prove_invariants(nl, env, {const0(r2.q[0])}, k2).size(), 1u);
+}
+
+TEST(Induction, DeepKStillRejectsReachableViolations) {
+  // A counter with a free enable: no bit is invariant at any k.
+  Netlist nl;
+  synth::Builder b(nl);
+  auto en = b.input("en", 1);
+  auto r = b.reg_decl(3, 0);
+  b.connect(r, b.mux(en[0], r.q, b.add_const(r.q, 1)));
+  b.output("q", r.q);
+  Environment env;
+  InductionOptions k3;
+  k3.k = 3;
+  std::vector<GateProperty> cands;
+  for (NetId n : r.q) cands.push_back(const0(n));
+  EXPECT_TRUE(prove_invariants(nl, env, cands, k3).empty());
+}
+
+TEST(Induction, BaseCaseKillsInductiveButUnreachableInvariant) {
+  // q <= q with init 1: "q == 0" is 1-inductive (0 -> 0) but fails at reset.
+  Netlist nl;
+  synth::Builder b(nl);
+  auto r = b.reg_decl(1, 1);
+  b.connect(r, r.q);
+  b.output("q", r.q);
+  Environment env;
+  InductionStats st;
+  auto proven = prove_invariants(nl, env, {const0(r.q[0]), const1(r.q[0])}, {}, &st);
+  ASSERT_EQ(proven.size(), 1u);
+  EXPECT_EQ(proven[0].kind, PropKind::Const1);
+}
+
+TEST(Induction, ImplicationPropertyProven) {
+  // y = a AND b. Environment: a -> b is forced by constraining inputs:
+  // assume (a implies b). Then the gate input implication a->b holds, and
+  // the AND's output equals a.
+  Netlist nl;
+  synth::Builder b(nl);
+  auto a = b.input("a", 1);
+  auto bb = b.input("b", 1);
+  const NetId y = b.and_(a[0], bb[0]);
+  b.output("y", {y});
+  Environment env;
+  env.add_assume(b.implies(a[0], bb[0]));
+  auto proven = prove_invariants(nl, env, {implies(a[0], bb[0]), implies(bb[0], a[0])});
+  ASSERT_EQ(proven.size(), 1u);
+  EXPECT_EQ(proven[0].a, a[0]);
+}
+
+TEST(Induction, XInitFlopNotProvenConstant) {
+  // q <= q with X init: neither const0 nor const1 may be proven.
+  Netlist nl;
+  synth::Builder b(nl);
+  auto r = b.reg_decl_x(1);
+  b.connect(r, r.q);
+  b.output("q", r.q);
+  Environment env;
+  auto proven = prove_invariants(nl, env, {const0(r.q[0]), const1(r.q[0])});
+  EXPECT_TRUE(proven.empty());
+}
+
+// --- proved invariants never have bounded counterexamples ---------------------
+
+class InductionSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(InductionSoundness, ProvenInvariantsHoldUnderBmc) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Netlist nl = test::random_netlist(seed, 5, 60, 6, 4);
+  Environment env;  // unconstrained
+  // Candidates: const0/const1 for every gate output.
+  std::vector<GateProperty> cands;
+  for (CellId id : nl.live_cells()) {
+    const auto& c = nl.cell(id);
+    if (cell_is_const(c.kind)) continue;
+    cands.push_back(const0(c.out));
+    cands.push_back(const1(c.out));
+  }
+  auto proven = prove_invariants(nl, env, cands);
+  for (const auto& p : proven) {
+    const BmcResult r = bmc_check(nl, env, p, 6);
+    EXPECT_FALSE(r.violated) << p.describe() << " violated at frame " << r.violation_frame;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InductionSoundness, ::testing::Range(1, 9));
+
+// --- simulation filter ----------------------------------------------------------
+
+TEST(SimFilter, DropsEasilyFalsifiedCandidates) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto a = b.input("a", 1);
+  const NetId y = b.and_(a[0], b.bit(true));  // y == a: toggles
+  const NetId z = b.and_(a[0], b.not_(a[0])); // z == 0 always
+  b.output("o", {y, z});
+  Environment env;
+  SimFilterOptions opt;
+  opt.cycles = 64;
+  auto res = sim_filter(nl, env, {const0(y), const0(z)}, opt);
+  ASSERT_EQ(res.survivors.size(), 1u);
+  EXPECT_EQ(res.survivors[0].target, z);
+  EXPECT_EQ(res.dropped, 1u);
+}
+
+TEST(SimFilter, RespectsEnvironmentDrivers) {
+  // Instruction-style bus constrained to even values: LSB==0 must survive.
+  Netlist nl;
+  synth::Builder b(nl);
+  auto instr = b.input("instr", 8);
+  b.output("o", instr);
+  Environment env;
+  env.drivers.push_back(std::make_shared<SampledWordDriver>(
+      instr, [](Rng& rng) { return rng.next() & 0xfe; }));
+  env.add_assume(b.not_(instr[0]));
+  SimFilterOptions opt;
+  opt.cycles = 128;
+  std::vector<GateProperty> cands = {const0(instr[0]), const0(instr[1])};
+  auto res = sim_filter(nl, env, cands, opt);
+  ASSERT_EQ(res.survivors.size(), 1u);
+  EXPECT_EQ(res.survivors[0].target, instr[0]);
+  EXPECT_EQ(res.assume_violation_cycles, 0u);
+}
+
+// --- BMC -------------------------------------------------------------------------
+
+TEST(Bmc, FindsShallowViolation) {
+  // 2-bit counter: bit1 first becomes 1 at t=2.
+  Netlist nl;
+  synth::Builder b(nl);
+  auto r = b.reg_decl(2, 0);
+  b.connect(r, b.add_const(r.q, 1));
+  b.output("q", r.q);
+  Environment env;
+  const BmcResult r0 = bmc_check(nl, env, const0(r.q[1]), 2);
+  EXPECT_FALSE(r0.violated) << "not reachable within 2 frames";
+  const BmcResult r1 = bmc_check(nl, env, const0(r.q[1]), 4);
+  EXPECT_TRUE(r1.violated);
+  EXPECT_EQ(r1.violation_frame, 2);
+}
+
+TEST(Bmc, EnvironmentBlocksViolation) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto en = b.input("en", 1);
+  auto r = b.reg_decl(2, 0);
+  b.connect(r, b.mux(en[0], r.q, b.add_const(r.q, 1)));
+  b.output("q", r.q);
+  Environment env;
+  env.add_assume(b.not_(en[0]));
+  EXPECT_FALSE(bmc_check(nl, env, const0(r.q[0]), 8).violated);
+  Environment free_env;
+  EXPECT_TRUE(bmc_check(nl, free_env, const0(r.q[0]), 8).violated);
+}
+
+TEST(Bmc, EnvSatisfiableDetectsVacuous) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto a = b.input("a", 1);
+  b.output("o", a);
+  Environment env;
+  env.add_assume(a[0]);
+  env.add_assume(b.not_(a[0]));  // contradictory
+  EXPECT_FALSE(env_satisfiable(nl, env, 3));
+  Environment ok;
+  ok.add_assume(a[0]);
+  EXPECT_TRUE(env_satisfiable(nl, ok, 3));
+}
+
+}  // namespace
+}  // namespace pdat

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "isa/rv32_assembler.h"
+#include "isa/rv32_isa.h"
+#include "isa/rv32_subsets.h"
+#include "sim/bitsim.h"
+#include "synth/builder.h"
+
+namespace pdat::isa {
+namespace {
+
+TEST(Rv32Table, InstructionCountsMatchPaperTable1) {
+  int i = 0, m = 0, c = 0, z = 0;
+  for (const auto& spec : rv32_instructions()) {
+    switch (spec.ext) {
+      case RvExt::I: ++i; break;
+      case RvExt::M: ++m; break;
+      case RvExt::C: ++c; break;
+      case RvExt::Zicsr:
+      case RvExt::Zifencei: ++z; break;
+    }
+  }
+  EXPECT_EQ(i, 40) << "paper Table I: RV32i base = 40";
+  EXPECT_EQ(m, 8) << "paper Table I: M-extension = 8";
+  EXPECT_EQ(z, 7) << "paper Table I: Zicsr(+Zifencei) = 7";
+  EXPECT_GE(c, 23) << "paper Table I counts 23 C instructions";
+  EXPECT_LE(c, 27);
+}
+
+TEST(Rv32Encode, ExtractRoundTripsEncode) {
+  Rng rng(33);
+  for (const auto& spec : rv32_instructions()) {
+    for (int k = 0; k < 50; ++k) {
+      const std::uint32_t w = rv32_sample(spec, rng);
+      const RvInstrSpec* dec = rv32_decode_spec(w);
+      ASSERT_NE(dec, nullptr) << spec.name << " sampled " << std::hex << w;
+      EXPECT_EQ(dec->name, spec.name) << std::hex << w;
+      const RvFields f = rv32_extract(spec, w);
+      const std::uint32_t re = rv32_encode(spec, f);
+      // Re-encoding must reproduce all fixed+operand bits (fence pred/succ
+      // and reserved don't round trip; skip the free-bits formats).
+      if (spec.fmt != RvFormat::Fence) {
+        const std::uint32_t cmp_mask = spec.compressed ? 0xffff : 0xffffffff;
+        EXPECT_EQ(re & cmp_mask, w & cmp_mask) << spec.name << " " << std::hex << w;
+      }
+    }
+  }
+}
+
+TEST(Rv32Sample, Rv32eKeepsRegisterFieldsLow) {
+  Rng rng(44);
+  const RvSubset s = rv32_subset_named("rv32e");
+  for (int k = 0; k < 500; ++k) {
+    const std::uint32_t w = sample_subset_word(s, rng);
+    const RvInstrSpec* spec = rv32_decode_spec(w);
+    ASSERT_NE(spec, nullptr);
+    const RvFields f = rv32_extract(*spec, w);
+    EXPECT_LT(f.rd, 16u);
+    EXPECT_LT(f.rs1, 16u);
+    EXPECT_LT(f.rs2, 16u);
+  }
+}
+
+TEST(Rv32Decode, IllegalEncodings) {
+  EXPECT_EQ(rv32_decode_spec(0x00000000), nullptr);  // all-zero (c.addi4spn nzuimm=0)
+  EXPECT_EQ(rv32_decode_spec(0xffffffff), nullptr);
+  EXPECT_EQ(rv32_decode_spec(0x0000307f), nullptr);  // bad funct3 for load
+}
+
+TEST(RvcExpand, SpotChecks) {
+  // c.li a0, 5  ->  addi a0, x0, 5
+  RvFields f;
+  f.rd = 10;
+  f.imm = 5;
+  const std::uint32_t cli = rv32_encode(rv32_instr("c.li"), f);
+  const std::uint32_t expanded = rvc_expand(static_cast<std::uint16_t>(cli));
+  const RvInstrSpec* spec = rv32_decode_spec(expanded);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->name, "addi");
+  const RvFields g = rv32_extract(*spec, expanded);
+  EXPECT_EQ(g.rd, 10u);
+  EXPECT_EQ(g.rs1, 0u);
+  EXPECT_EQ(g.imm, 5);
+}
+
+TEST(RvcExpand, EveryCompressedSampleExpandsToSameExtMeaning) {
+  Rng rng(55);
+  for (const auto& spec : rv32_instructions()) {
+    if (!spec.compressed) continue;
+    for (int k = 0; k < 30; ++k) {
+      const std::uint32_t w = rv32_sample(spec, rng);
+      const std::uint32_t e = rvc_expand(static_cast<std::uint16_t>(w));
+      ASSERT_NE(e, 0u) << spec.name;
+      EXPECT_NE(rv32_decode_spec(e), nullptr) << spec.name;
+    }
+  }
+}
+
+TEST(Subsets, NamedSubsetsHaveExpectedSizes) {
+  EXPECT_EQ(rv32_subset_named("rv32i").size(), 40u);
+  EXPECT_EQ(rv32_subset_named("rv32im").size(), 48u);
+  EXPECT_EQ(rv32_subset_named("rv32e").size(), 40u);
+  EXPECT_TRUE(rv32_subset_named("rv32e").rve);
+  EXPECT_EQ(rv32_subset_all().size(), rv32_instructions().size());
+  EXPECT_EQ(rv32_subset_risc16().size(), 9u);
+  EXPECT_EQ(rv32_subset_safety_critical().size(), 35u);
+  EXPECT_EQ(rv32_subset_reduced_addressing().size(), 30u);
+  EXPECT_EQ(rv32_subset_aligned().size(), 34u);
+  EXPECT_THROW(rv32_subset_named("rv64gc"), PdatError);
+}
+
+TEST(Matcher, CircuitAgreesWithSoftwareDecode) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto instr = b.input("instr", 32);
+  const RvSubset sub = rv32_subset_named("rv32i");
+  const NetId ok = build_subset_matcher(b, instr, sub);
+  b.output("ok", {ok});
+  BitSim sim(nl);
+  Rng rng(66);
+  const auto& table = rv32_instructions();
+  // Positive cases: every sampled member word must match.
+  for (int idx : sub.instrs) {
+    for (int k = 0; k < 20; ++k) {
+      const std::uint32_t w = rv32_sample(table[static_cast<std::size_t>(idx)], rng);
+      sim.set_port_uniform(*nl.find_input("instr"), w);
+      sim.eval();
+      EXPECT_EQ(sim.read_port(*nl.find_output("ok"), 0), 1u)
+          << table[static_cast<std::size_t>(idx)].name << " " << std::hex << w;
+    }
+  }
+  // Negative cases: M-extension and illegal words must not match.
+  for (int k = 0; k < 20; ++k) {
+    const std::uint32_t w = rv32_sample(rv32_instr("mul"), rng);
+    sim.set_port_uniform(*nl.find_input("instr"), w);
+    sim.eval();
+    EXPECT_EQ(sim.read_port(*nl.find_output("ok"), 0), 0u);
+  }
+  sim.set_port_uniform(*nl.find_input("instr"), 0);
+  sim.eval();
+  EXPECT_EQ(sim.read_port(*nl.find_output("ok"), 0), 0u) << "all-zero word is illegal";
+}
+
+TEST(Matcher, RandomWordsAgreeWithDecode) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto instr = b.input("instr", 32);
+  const RvSubset sub = rv32_subset_all();
+  b.output("ok", {build_subset_matcher(b, instr, sub)});
+  BitSim sim(nl);
+  Rng rng(77);
+  int matched = 0;
+  for (int k = 0; k < 4000; ++k) {
+    const auto w = static_cast<std::uint32_t>(rng.next());
+    sim.set_port_uniform(*nl.find_input("instr"), w);
+    sim.eval();
+    const bool hw = sim.read_port(*nl.find_output("ok"), 0) != 0;
+    const bool compressed = (w & 3) != 3;
+    const RvInstrSpec* spec = rv32_decode_spec(compressed ? (w & 0xffff) : w);
+    bool sw = spec != nullptr;
+    if (sw && spec->fmt == RvFormat::Shamt && ((w >> 25) & 1)) sw = false;
+    if (sw && spec->fmt == RvFormat::CShamt && ((w >> 12) & 1)) sw = false;
+    matched += hw;
+    EXPECT_EQ(hw, sw) << std::hex << w << " spec=" << (spec ? spec->name : "none");
+  }
+  EXPECT_GT(matched, 0);
+}
+
+TEST(Assembler, BasicProgramAndLabels) {
+  const auto prog = assemble_rv32(R"(
+    start:
+      li a0, 10
+      li a1, 0
+    loop:
+      add a1, a1, a0
+      addi a0, a0, -1
+      bnez a0, loop
+      ebreak
+  )");
+  EXPECT_EQ(prog.words.size(), 6u);
+  EXPECT_EQ(prog.labels.at("start"), 0u);
+  EXPECT_EQ(prog.labels.at("loop"), 8u);
+  EXPECT_EQ(prog.static_profile.at("add"), 1);
+  EXPECT_EQ(prog.static_profile.at("addi"), 3);  // two li + addi
+  EXPECT_EQ(prog.static_profile.at("bne"), 1);
+}
+
+TEST(Assembler, LargeImmediateUsesLuiPair) {
+  const auto prog = assemble_rv32("li t0, 0x12345678\nebreak\n");
+  EXPECT_EQ(prog.words.size(), 3u);
+  EXPECT_EQ(prog.static_profile.at("lui"), 1);
+  EXPECT_EQ(prog.static_profile.at("addi"), 1);
+}
+
+TEST(Assembler, LoadsStoresAndErrors) {
+  const auto prog = assemble_rv32("lw a0, 8(sp)\nsw a0, -4(s0)\nebreak\n");
+  EXPECT_EQ(prog.static_profile.at("lw"), 1);
+  EXPECT_EQ(prog.static_profile.at("sw"), 1);
+  EXPECT_THROW(assemble_rv32("addi a0, a0, 99999\n"), PdatError);
+  EXPECT_THROW(assemble_rv32("bogus a0, a1\n"), PdatError);
+  EXPECT_THROW(assemble_rv32("beq a0, a1, nowhere\n"), PdatError);
+}
+
+TEST(Compressible, MatchesSpecRules) {
+  auto enc = [](const char* name, unsigned rd, unsigned rs1, unsigned rs2, int imm,
+                unsigned shamt = 0) {
+    RvFields f;
+    f.rd = rd; f.rs1 = rs1; f.rs2 = rs2; f.imm = imm; f.shamt = shamt;
+    return rv32_encode(rv32_instr(name), f);
+  };
+  std::string cn;
+  EXPECT_TRUE(rv32_compressible(enc("addi", 10, 10, 0, 4), &cn));
+  EXPECT_EQ(cn, "c.addi");
+  EXPECT_TRUE(rv32_compressible(enc("addi", 10, 0, 0, 4), &cn));
+  EXPECT_EQ(cn, "c.li");
+  EXPECT_FALSE(rv32_compressible(enc("addi", 10, 11, 0, 400), &cn));
+  EXPECT_TRUE(rv32_compressible(enc("lw", 9, 8, 0, 16), &cn));
+  EXPECT_EQ(cn, "c.lw");
+  EXPECT_FALSE(rv32_compressible(enc("lw", 20, 21, 0, 16), &cn));
+  EXPECT_TRUE(rv32_compressible(enc("add", 5, 5, 6, 0), &cn));
+  EXPECT_EQ(cn, "c.add");
+  EXPECT_TRUE(rv32_compressible(enc("sub", 8, 8, 9, 0), &cn));
+  EXPECT_EQ(cn, "c.sub");
+  EXPECT_FALSE(rv32_compressible(enc("sub", 8, 9, 8, 0), &cn));
+}
+
+}  // namespace
+}  // namespace pdat::isa

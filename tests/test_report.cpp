@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/netlist.h"
+#include "pdat/report.h"
+#include "sat/solver.h"
+#include "synth/builder.h"
+
+namespace pdat {
+namespace {
+
+TEST(Report, RowFromNetlist) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto a = b.input("a", 2);
+  b.output("o", {b.and_(a[0], a[1])});
+  const VariantRow r = make_row("toy", nl);
+  EXPECT_EQ(r.name, "toy");
+  EXPECT_EQ(r.gates, 1u);
+  EXPECT_GT(r.area, 0.0);
+}
+
+TEST(Report, ReductionsComputedAgainstNamedBaseline) {
+  std::vector<VariantRow> rows(2);
+  rows[0].name = "full";
+  rows[0].gates = 1000;
+  rows[0].area = 2000;
+  rows[1].name = "reduced";
+  rows[1].gates = 800;
+  rows[1].area = 1500;
+  std::ostringstream os;
+  print_variant_table(os, rows, "t", "full");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("20.0%"), std::string::npos);
+  EXPECT_NE(text.find("25.0%"), std::string::npos);
+  EXPECT_NE(text.find("reduced"), std::string::npos);
+}
+
+TEST(Report, EmptyRowsDoNotCrash) {
+  std::ostringstream os;
+  print_variant_table(os, {}, "empty");
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(Netlist, KindHistogramCountsLiveCells) {
+  Netlist nl;
+  synth::Builder b(nl);
+  auto a = b.input("a", 2);
+  const NetId x = b.and_(a[0], a[1]);
+  const NetId y = b.and_(a[1], a[0]);
+  b.output("o", {b.xor_(x, y)});
+  auto h = nl.kind_histogram();
+  EXPECT_EQ(h[static_cast<std::size_t>(CellKind::And2)], 2u);
+  EXPECT_EQ(h[static_cast<std::size_t>(CellKind::Xor2)], 1u);
+  nl.kill_cell(nl.driver(y));
+  h = nl.kind_histogram();
+  EXPECT_EQ(h[static_cast<std::size_t>(CellKind::And2)], 1u);
+}
+
+TEST(Sat, ConflictCoreIsSubsetOfAssumptions) {
+  using namespace sat;
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_clause(~mk_lit(a), ~mk_lit(b));  // a and b conflict
+  // c is irrelevant.
+  ASSERT_EQ(s.solve({mk_lit(c), mk_lit(a), mk_lit(b)}), SolveResult::Unsat);
+  const auto& core = s.conflict_core();
+  EXPECT_FALSE(core.empty());
+  for (const Lit l : core) {
+    EXPECT_TRUE(l == ~mk_lit(a) || l == ~mk_lit(b) || l == ~mk_lit(c));
+  }
+  // The core must mention a or b (the real conflict), in negated form.
+  bool mentions_ab = false;
+  for (const Lit l : core) {
+    if (l.var() == a || l.var() == b) mentions_ab = true;
+  }
+  EXPECT_TRUE(mentions_ab);
+}
+
+}  // namespace
+}  // namespace pdat

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "cores/ridecore/ride_tb.h"
+#include "cores/ridecore/ridecore.h"
+#include "isa/rv32_assembler.h"
+#include "isa/rv32_isa.h"
+#include "netlist/check.h"
+
+namespace pdat::cores {
+namespace {
+
+const Netlist& ride() {
+  static const RideCore core = build_ridecore();
+  return core.netlist;
+}
+
+std::string cosim(const std::string& asm_text) {
+  return ride_cosim_against_iss(ride(), isa::assemble_rv32(asm_text).words);
+}
+
+TEST(RideCore, BuildsAtPaperScale) {
+  EXPECT_TRUE(check_netlist(ride()).empty());
+  // Paper Table II: ~100k gates, an order of magnitude larger than Ibex.
+  EXPECT_GT(ride().gate_count(), 50000u);
+  EXPECT_GT(ride().num_flops(), 6000u);
+}
+
+TEST(RideCosim, DualIssueArithmetic) {
+  EXPECT_EQ(cosim(R"(
+      li a0, 7
+      li a1, 9
+      add a2, a0, a1
+      xor a3, a0, a1
+      sll a4, a1, a0
+      sltu a5, a0, a1
+      sub a6, a0, a1
+      srai a7, a6, 3
+      ebreak
+  )"), "");
+}
+
+TEST(RideCosim, DependentPairBypasses) {
+  EXPECT_EQ(cosim(R"(
+      li a0, 5
+      addi a1, a0, 1     # depends on previous slot
+      add a2, a1, a1
+      addi a2, a2, 3
+      ebreak
+  )"), "");
+}
+
+TEST(RideCosim, LoadsStoresShareThePort) {
+  EXPECT_EQ(cosim(R"(
+      li t0, 0x800
+      li t1, 0x11223344
+      sw t1, 0(t0)
+      lw a0, 0(t0)       # mem-after-mem in one pair: split issue
+      sb t1, 5(t0)
+      lbu a1, 5(t0)
+      sh t1, 6(t0)
+      lh a2, 6(t0)
+      lb a3, 3(t0)
+      ebreak
+  )"), "");
+}
+
+TEST(RideCosim, LoadUseInSamePair) {
+  EXPECT_EQ(cosim(R"(
+      li t0, 0x800
+      li t1, 42
+      sw t1, 0(t0)
+      lw a0, 0(t0)
+      addi a1, a0, 1     # depends on the load: pair must split
+      ebreak
+  )"), "");
+}
+
+TEST(RideCosim, BranchesAndPrediction) {
+  EXPECT_EQ(cosim(R"(
+      li a0, 0
+      li t0, 0
+    loop:
+      addi t0, t0, 1
+      add a0, a0, t0
+      li t1, 50
+      blt t0, t1, loop   # trains the gshare predictor
+      call fn
+      addi a0, a0, 1
+      ebreak
+    fn:
+      addi a0, a0, 10
+      ret
+  )"), "");
+}
+
+TEST(RideCosim, MulVariants) {
+  EXPECT_EQ(cosim(R"(
+      li a0, -7
+      li a1, 3
+      mul a2, a0, a1
+      mulh a3, a0, a1
+      mulhu a4, a0, a1
+      mulhsu a5, a0, a1
+      mul a6, a1, a1
+      mul a7, a6, a6     # dependent muls
+      ebreak
+  )"), "");
+}
+
+TEST(RideCosim, DivIsIllegalLikeRidecore) {
+  const auto prog = isa::assemble_rv32("li a0, 6\nli a1, 2\ndiv a2, a0, a1\nebreak\n");
+  RideTestbench tb(ride());
+  tb.load_words(0, prog.words);
+  tb.reset();
+  EXPECT_LT(tb.run(1000), 1000u) << "div must halt the core (not implemented)";
+}
+
+TEST(RideCosim, RegisterPressureExercisesRename) {
+  // 200 writes so physical registers recycle through the free list and ROB.
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    const int rd = 1 + (i % 30);
+    text += "addi x" + std::to_string(rd) + ", x" + std::to_string(1 + ((i + 7) % 30)) + ", " +
+            std::to_string(i % 100) + "\n";
+  }
+  text += "ebreak\n";
+  EXPECT_EQ(cosim(text), "");
+}
+
+TEST(RideCosim, WawInOnePair) {
+  EXPECT_EQ(cosim(R"(
+      li a0, 1
+      li a0, 2           # same destination in one fetch pair
+      addi a1, a0, 5
+      ebreak
+  )"), "");
+}
+
+TEST(RideCore, DualIssueIsFasterThanSplitIssue) {
+  // Independent ALU ops should sustain close to 2 IPC.
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += std::string("addi x") + std::to_string(5 + (i % 2)) + ", x0, " +
+            std::to_string(i % 50) + "\n";
+  }
+  text += "ebreak\n";
+  const auto prog = isa::assemble_rv32(text);
+  RideTestbench tb(ride());
+  tb.load_words(0, prog.words);
+  tb.reset();
+  tb.run(100000);
+  EXPECT_GE(tb.retired(), 100u);
+  EXPECT_LT(tb.cycles(), tb.retired() * 3 / 4) << "IPC must exceed 1.3 on independent ALU ops";
+}
+
+class RideRandomPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RideRandomPrograms, StraightLineMatchesIss) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 33331);
+  std::vector<std::uint32_t> words;
+  const char* ops[] = {"add", "sub", "sll", "slt", "sltu", "xor", "srl",  "sra",
+                       "or",  "and", "addi", "slti", "sltiu", "xori", "ori", "andi",
+                       "slli", "srli", "srai", "lui", "auipc", "mul", "mulh", "mulhsu",
+                       "mulhu"};
+  for (int i = 0; i < 80; ++i) {
+    const auto& spec = isa::rv32_instr(ops[rng.below(std::size(ops))]);
+    isa::RvFields f;
+    f.rd = static_cast<unsigned>(rng.below(32));
+    f.rs1 = static_cast<unsigned>(rng.below(32));
+    f.rs2 = static_cast<unsigned>(rng.below(32));
+    f.imm = static_cast<std::int32_t>(rng.next() & 0xfff) - 2048;
+    if (spec.fmt == isa::RvFormat::U) f.imm = static_cast<std::int32_t>(rng.next() & 0xfffff000);
+    f.shamt = static_cast<unsigned>(rng.below(32));
+    words.push_back(isa::rv32_encode(spec, f));
+  }
+  words.push_back(isa::rv32_instr("ebreak").match);
+  EXPECT_EQ(ride_cosim_against_iss(ride(), words), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RideRandomPrograms, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace pdat::cores

@@ -1,0 +1,92 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "netlist/netlist.h"
+#include "sim/bitsim.h"
+
+namespace pdat::test {
+
+/// Builds a random well-formed sequential netlist: `n_inputs` PI bits,
+/// `n_gates` random cells over earlier nets, `n_flops` flops fed by random
+/// nets, and a handful of primary outputs. Deterministic in `seed`.
+inline Netlist random_netlist(std::uint64_t seed, int n_inputs = 8, int n_gates = 120,
+                              int n_flops = 12, int n_outputs = 6) {
+  Rng rng(seed);
+  Netlist nl;
+  std::vector<NetId> pool;
+  for (NetId n : nl.add_input("in", static_cast<std::size_t>(n_inputs))) pool.push_back(n);
+  pool.push_back(nl.const0());
+  pool.push_back(nl.const1());
+
+  // Flop outputs join the pool up-front; their D inputs are connected later.
+  struct PendingFlop {
+    CellId cell;
+  };
+  std::vector<PendingFlop> flops;
+  for (int i = 0; i < n_flops; ++i) {
+    const NetId q = nl.add_cell(CellKind::Dff, nl.const0());
+    const CellId id = nl.driver(q);
+    nl.cell(id).init = rng.chance(128) ? Tri::T : Tri::F;
+    flops.push_back({id});
+    pool.push_back(q);
+  }
+
+  auto pick = [&]() { return pool[rng.below(pool.size())]; };
+  const CellKind kinds[] = {CellKind::Inv,   CellKind::And2,  CellKind::Or2,  CellKind::Nand2,
+                            CellKind::Nor2,  CellKind::Xor2,  CellKind::Xnor2, CellKind::Mux2,
+                            CellKind::And3,  CellKind::Or3,   CellKind::Nand3, CellKind::Nor3,
+                            CellKind::Aoi21, CellKind::Oai21, CellKind::Buf};
+  for (int i = 0; i < n_gates; ++i) {
+    const CellKind k = kinds[rng.below(std::size(kinds))];
+    const int ni = cell_num_inputs(k);
+    const NetId a = pick();
+    const NetId b = ni >= 2 ? pick() : kNoNet;
+    const NetId c = ni >= 3 ? pick() : kNoNet;
+    pool.push_back(nl.add_cell(k, a, b, c));
+  }
+  // Connect flop D pins to arbitrary pool nets (may create sequential loops,
+  // which are fine).
+  for (const auto& f : flops) nl.cell(f.cell).in[0] = pick();
+
+  std::vector<NetId> outs;
+  for (int i = 0; i < n_outputs; ++i) outs.push_back(pick());
+  nl.add_output("out", outs);
+  return nl;
+}
+
+/// Runs both netlists side by side with identical random inputs for `cycles`
+/// cycles and compares all primary outputs each cycle. Both netlists must
+/// have identical port shapes. Returns true when traces match.
+inline bool cosim_equal(const Netlist& a, const Netlist& b, std::uint64_t seed, int cycles) {
+  BitSim sa(a), sb(b);
+  Rng rng(seed);
+  for (int t = 0; t < cycles; ++t) {
+    for (std::size_t p = 0; p < a.inputs().size(); ++p) {
+      const Port& pa = a.inputs()[p];
+      const Port& pb = b.inputs()[p];
+      for (std::size_t i = 0; i < pa.bits.size(); ++i) {
+        const std::uint64_t w = rng.next();
+        sa.set_input(pa.bits[i], w);
+        sb.set_input(pb.bits[i], w);
+      }
+    }
+    sa.eval();
+    sb.eval();
+    for (std::size_t p = 0; p < a.outputs().size(); ++p) {
+      const Port& pa = a.outputs()[p];
+      const Port& pb = b.outputs()[p];
+      for (std::size_t i = 0; i < pa.bits.size(); ++i) {
+        if (sa.value(pa.bits[i]) != sb.value(pb.bits[i])) return false;
+      }
+    }
+    sa.latch();
+    sb.latch();
+  }
+  return true;
+}
+
+}  // namespace pdat::test

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+#include "iss/rv32_iss.h"
+#include "workload/mibench.h"
+
+namespace pdat::workload {
+namespace {
+
+std::uint32_t run_kernel(const Kernel& k) {
+  const auto prog = isa::assemble_rv32(k.source);
+  iss::Rv32Iss sim;
+  sim.load_words(0, prog.words);
+  sim.reset();
+  sim.run(5000000);
+  EXPECT_TRUE(sim.halted()) << k.name;
+  EXPECT_FALSE(sim.illegal()) << k.name;
+  return sim.reg(10);
+}
+
+TEST(Workloads, AllKernelsAssembleAndHalt) {
+  for (const auto& k : mibench_kernels()) {
+    const std::uint32_t a0 = run_kernel(k);
+    EXPECT_NE(a0, 0u) << k.name << " checksum should be nonzero";
+  }
+}
+
+TEST(Workloads, Crc32MatchesReferenceImplementation) {
+  // Independent C++ model of the kernel's data and algorithm.
+  std::uint32_t crc = 0xffffffff;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(i * 8 + 0x5a);
+    crc ^= byte;
+    for (int b = 0; b < 8; ++b) {
+      const bool lsb = crc & 1;
+      crc >>= 1;
+      if (lsb) crc ^= 0xEDB88320u;
+    }
+  }
+  crc = ~crc;
+  const Kernel* k = nullptr;
+  for (const auto& kk : mibench_kernels()) {
+    if (kk.name == "crc32") k = &kk;
+  }
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(run_kernel(*k), crc);
+}
+
+TEST(Workloads, BitcountMatchesReference) {
+  std::uint32_t sum = 0;
+  std::uint32_t v = 0xDEADBEEF;
+  for (int i = 0; i < 16; ++i) {
+    sum += 2u * static_cast<std::uint32_t>(__builtin_popcount(v));
+    v += 0x9E3779B9u;
+  }
+  const Kernel* k = nullptr;
+  for (const auto& kk : mibench_kernels()) {
+    if (kk.name == "bitcount") k = &kk;
+  }
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(run_kernel(*k), sum);
+}
+
+TEST(Workloads, BasicmathGcdComponentCorrect) {
+  // gcd(3528, 3780) = 252; the kernel folds it into the checksum along with
+  // 8 isqrt values and two divisions — reproduce the whole fold.
+  auto isqrt = [](std::uint32_t x) {
+    std::uint32_t res = 0, bit = 1u << 14;
+    while (bit != 0) {
+      const std::uint32_t t = res + bit;
+      res >>= 1;
+      if (x >= t) {
+        x -= t;
+        res += bit;
+      }
+      bit >>= 2;
+    }
+    return res;
+  };
+  std::uint32_t sum = 0;
+  for (std::uint32_t kk = 0; kk < 8; ++kk) {
+    const std::uint32_t t0 = (kk << 10) + 7;
+    sum += isqrt((t0 * t0) >> 3);
+  }
+  std::uint32_t a = 3528, b = 3780;
+  while (b != 0) {
+    const std::uint32_t r = a % b;
+    a = b;
+    b = r;
+  }
+  sum += a;
+  sum += 1000000 / 37;
+  sum += 1000000u / 37u;
+  const Kernel* k = nullptr;
+  for (const auto& kk : mibench_kernels()) {
+    if (kk.name == "basicmath") k = &kk;
+  }
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(run_kernel(*k), sum);
+}
+
+TEST(Workloads, GroupProfilesMatchPaperStructure) {
+  const GroupProfile net = profile_group("networking");
+  const GroupProfile sec = profile_group("security");
+  const GroupProfile aut = profile_group("automotive");
+  const GroupProfile all = profile_group("all");
+
+  // Paper Table I structure: security uses no M instructions; automotive
+  // uses a few; every group uses a strict subset of the base ISA.
+  EXPECT_TRUE(sec.m_used.empty());
+  EXPECT_GE(aut.m_used.size(), 3u);
+  EXPECT_LT(net.base_used.size(), 40u);
+  EXPECT_LT(sec.base_used.size(), 40u);
+  EXPECT_LT(aut.base_used.size(), 40u);
+  // The union is what "MiBench All" supports.
+  EXPECT_GE(all.base_used.size(), net.base_used.size());
+  EXPECT_GE(all.base_used.size(), sec.base_used.size());
+  // Compiled-with-C binaries would use compressed forms.
+  EXPECT_GT(net.c_used.size(), 4u);
+  EXPECT_GT(sec.c_used.size(), 4u);
+  EXPECT_GT(all.c_used.size(), net.c_used.size() - 1);
+}
+
+TEST(Workloads, GroupSubsetsAreValidAndContainEbreak) {
+  for (const char* g : {"networking", "security", "automotive", "all"}) {
+    const auto s = group_subset(g);
+    EXPECT_GT(s.size(), 10u) << g;
+    EXPECT_TRUE(s.contains("ebreak")) << g;
+    EXPECT_FALSE(s.contains("csrrw")) << g << ": Zicsr unused by MiBench (Table I)";
+  }
+}
+
+TEST(Workloads, UnknownGroupThrows) { EXPECT_THROW(profile_group("floating"), pdat::PdatError); }
+
+}  // namespace
+}  // namespace pdat::workload
