@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_isa.dir/bench_fig5_isa.cpp.o"
+  "CMakeFiles/bench_fig5_isa.dir/bench_fig5_isa.cpp.o.d"
+  "bench_fig5_isa"
+  "bench_fig5_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

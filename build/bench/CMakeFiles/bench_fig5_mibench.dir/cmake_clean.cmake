@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_mibench.dir/bench_fig5_mibench.cpp.o"
+  "CMakeFiles/bench_fig5_mibench.dir/bench_fig5_mibench.cpp.o.d"
+  "bench_fig5_mibench"
+  "bench_fig5_mibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_special.dir/bench_fig5_special.cpp.o"
+  "CMakeFiles/bench_fig5_special.dir/bench_fig5_special.cpp.o.d"
+  "bench_fig5_special"
+  "bench_fig5_special.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_special.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

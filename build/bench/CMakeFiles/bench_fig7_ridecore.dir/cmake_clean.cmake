@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ridecore.dir/bench_fig7_ridecore.cpp.o"
+  "CMakeFiles/bench_fig7_ridecore.dir/bench_fig7_ridecore.cpp.o.d"
+  "bench_fig7_ridecore"
+  "bench_fig7_ridecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ridecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_pair.dir/hetero_pair.cpp.o"
+  "CMakeFiles/hetero_pair.dir/hetero_pair.cpp.o.d"
+  "hetero_pair"
+  "hetero_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

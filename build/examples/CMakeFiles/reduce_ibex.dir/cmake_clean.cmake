@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduce_ibex.dir/reduce_ibex.cpp.o"
+  "CMakeFiles/reduce_ibex.dir/reduce_ibex.cpp.o.d"
+  "reduce_ibex"
+  "reduce_ibex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduce_ibex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

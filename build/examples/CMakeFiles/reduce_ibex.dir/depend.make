@@ -1,0 +1,2 @@
+# Empty dependencies file for reduce_ibex.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_m0.dir/secure_m0.cpp.o"
+  "CMakeFiles/secure_m0.dir/secure_m0.cpp.o.d"
+  "secure_m0"
+  "secure_m0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_m0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/log.cpp" "src/CMakeFiles/pdat_core.dir/base/log.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/base/log.cpp.o.d"
+  "/root/repo/src/base/rng.cpp" "src/CMakeFiles/pdat_core.dir/base/rng.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/base/rng.cpp.o.d"
+  "/root/repo/src/cell/cell_library.cpp" "src/CMakeFiles/pdat_core.dir/cell/cell_library.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/cell/cell_library.cpp.o.d"
+  "/root/repo/src/cores/cm0/cm0_core.cpp" "src/CMakeFiles/pdat_core.dir/cores/cm0/cm0_core.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/cores/cm0/cm0_core.cpp.o.d"
+  "/root/repo/src/cores/cm0/cm0_tb.cpp" "src/CMakeFiles/pdat_core.dir/cores/cm0/cm0_tb.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/cores/cm0/cm0_tb.cpp.o.d"
+  "/root/repo/src/cores/ibex/ibex_core.cpp" "src/CMakeFiles/pdat_core.dir/cores/ibex/ibex_core.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/cores/ibex/ibex_core.cpp.o.d"
+  "/root/repo/src/cores/ibex/ibex_tb.cpp" "src/CMakeFiles/pdat_core.dir/cores/ibex/ibex_tb.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/cores/ibex/ibex_tb.cpp.o.d"
+  "/root/repo/src/cores/ibex/rvc_expander.cpp" "src/CMakeFiles/pdat_core.dir/cores/ibex/rvc_expander.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/cores/ibex/rvc_expander.cpp.o.d"
+  "/root/repo/src/cores/ridecore/ride_tb.cpp" "src/CMakeFiles/pdat_core.dir/cores/ridecore/ride_tb.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/cores/ridecore/ride_tb.cpp.o.d"
+  "/root/repo/src/cores/ridecore/ridecore.cpp" "src/CMakeFiles/pdat_core.dir/cores/ridecore/ridecore.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/cores/ridecore/ridecore.cpp.o.d"
+  "/root/repo/src/formal/bmc.cpp" "src/CMakeFiles/pdat_core.dir/formal/bmc.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/formal/bmc.cpp.o.d"
+  "/root/repo/src/formal/candidates.cpp" "src/CMakeFiles/pdat_core.dir/formal/candidates.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/formal/candidates.cpp.o.d"
+  "/root/repo/src/formal/cnf_encoder.cpp" "src/CMakeFiles/pdat_core.dir/formal/cnf_encoder.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/formal/cnf_encoder.cpp.o.d"
+  "/root/repo/src/formal/environment.cpp" "src/CMakeFiles/pdat_core.dir/formal/environment.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/formal/environment.cpp.o.d"
+  "/root/repo/src/formal/induction.cpp" "src/CMakeFiles/pdat_core.dir/formal/induction.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/formal/induction.cpp.o.d"
+  "/root/repo/src/isa/rv32_assembler.cpp" "src/CMakeFiles/pdat_core.dir/isa/rv32_assembler.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/isa/rv32_assembler.cpp.o.d"
+  "/root/repo/src/isa/rv32_encoding.cpp" "src/CMakeFiles/pdat_core.dir/isa/rv32_encoding.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/isa/rv32_encoding.cpp.o.d"
+  "/root/repo/src/isa/rv32_isa.cpp" "src/CMakeFiles/pdat_core.dir/isa/rv32_isa.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/isa/rv32_isa.cpp.o.d"
+  "/root/repo/src/isa/rv32_subsets.cpp" "src/CMakeFiles/pdat_core.dir/isa/rv32_subsets.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/isa/rv32_subsets.cpp.o.d"
+  "/root/repo/src/isa/thumb_assembler.cpp" "src/CMakeFiles/pdat_core.dir/isa/thumb_assembler.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/isa/thumb_assembler.cpp.o.d"
+  "/root/repo/src/isa/thumb_encoding.cpp" "src/CMakeFiles/pdat_core.dir/isa/thumb_encoding.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/isa/thumb_encoding.cpp.o.d"
+  "/root/repo/src/isa/thumb_subsets.cpp" "src/CMakeFiles/pdat_core.dir/isa/thumb_subsets.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/isa/thumb_subsets.cpp.o.d"
+  "/root/repo/src/iss/rv32_iss.cpp" "src/CMakeFiles/pdat_core.dir/iss/rv32_iss.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/iss/rv32_iss.cpp.o.d"
+  "/root/repo/src/iss/thumb_iss.cpp" "src/CMakeFiles/pdat_core.dir/iss/thumb_iss.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/iss/thumb_iss.cpp.o.d"
+  "/root/repo/src/netlist/check.cpp" "src/CMakeFiles/pdat_core.dir/netlist/check.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/netlist/check.cpp.o.d"
+  "/root/repo/src/netlist/levelize.cpp" "src/CMakeFiles/pdat_core.dir/netlist/levelize.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/netlist/levelize.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/pdat_core.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/CMakeFiles/pdat_core.dir/netlist/verilog.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/netlist/verilog.cpp.o.d"
+  "/root/repo/src/opt/const_prop.cpp" "src/CMakeFiles/pdat_core.dir/opt/const_prop.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/opt/const_prop.cpp.o.d"
+  "/root/repo/src/opt/dead_cells.cpp" "src/CMakeFiles/pdat_core.dir/opt/dead_cells.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/opt/dead_cells.cpp.o.d"
+  "/root/repo/src/opt/obfuscate.cpp" "src/CMakeFiles/pdat_core.dir/opt/obfuscate.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/opt/obfuscate.cpp.o.d"
+  "/root/repo/src/opt/opt_common.cpp" "src/CMakeFiles/pdat_core.dir/opt/opt_common.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/opt/opt_common.cpp.o.d"
+  "/root/repo/src/opt/optimizer.cpp" "src/CMakeFiles/pdat_core.dir/opt/optimizer.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/opt/optimizer.cpp.o.d"
+  "/root/repo/src/opt/rewrite.cpp" "src/CMakeFiles/pdat_core.dir/opt/rewrite.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/opt/rewrite.cpp.o.d"
+  "/root/repo/src/opt/strash.cpp" "src/CMakeFiles/pdat_core.dir/opt/strash.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/opt/strash.cpp.o.d"
+  "/root/repo/src/pdat/pipeline.cpp" "src/CMakeFiles/pdat_core.dir/pdat/pipeline.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/pdat/pipeline.cpp.o.d"
+  "/root/repo/src/pdat/property_library.cpp" "src/CMakeFiles/pdat_core.dir/pdat/property_library.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/pdat/property_library.cpp.o.d"
+  "/root/repo/src/pdat/report.cpp" "src/CMakeFiles/pdat_core.dir/pdat/report.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/pdat/report.cpp.o.d"
+  "/root/repo/src/pdat/restrictions.cpp" "src/CMakeFiles/pdat_core.dir/pdat/restrictions.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/pdat/restrictions.cpp.o.d"
+  "/root/repo/src/pdat/rewire.cpp" "src/CMakeFiles/pdat_core.dir/pdat/rewire.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/pdat/rewire.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/CMakeFiles/pdat_core.dir/sat/solver.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/sat/solver.cpp.o.d"
+  "/root/repo/src/sim/bitsim.cpp" "src/CMakeFiles/pdat_core.dir/sim/bitsim.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/sim/bitsim.cpp.o.d"
+  "/root/repo/src/sim/ternary.cpp" "src/CMakeFiles/pdat_core.dir/sim/ternary.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/sim/ternary.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/pdat_core.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/sim/vcd.cpp.o.d"
+  "/root/repo/src/synth/arith.cpp" "src/CMakeFiles/pdat_core.dir/synth/arith.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/synth/arith.cpp.o.d"
+  "/root/repo/src/synth/builder.cpp" "src/CMakeFiles/pdat_core.dir/synth/builder.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/synth/builder.cpp.o.d"
+  "/root/repo/src/synth/memory.cpp" "src/CMakeFiles/pdat_core.dir/synth/memory.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/synth/memory.cpp.o.d"
+  "/root/repo/src/workload/mibench.cpp" "src/CMakeFiles/pdat_core.dir/workload/mibench.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/workload/mibench.cpp.o.d"
+  "/root/repo/src/workload/mibench_thumb.cpp" "src/CMakeFiles/pdat_core.dir/workload/mibench_thumb.cpp.o" "gcc" "src/CMakeFiles/pdat_core.dir/workload/mibench_thumb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdat_core.a"
+)

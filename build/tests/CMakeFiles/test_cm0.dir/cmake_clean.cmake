@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cm0.dir/test_cm0.cpp.o"
+  "CMakeFiles/test_cm0.dir/test_cm0.cpp.o.d"
+  "test_cm0"
+  "test_cm0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cm0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ibex.dir/test_ibex.cpp.o"
+  "CMakeFiles/test_ibex.dir/test_ibex.cpp.o.d"
+  "test_ibex"
+  "test_ibex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ibex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

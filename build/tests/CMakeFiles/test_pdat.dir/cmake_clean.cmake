@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdat.dir/test_pdat.cpp.o"
+  "CMakeFiles/test_pdat.dir/test_pdat.cpp.o.d"
+  "test_pdat"
+  "test_pdat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

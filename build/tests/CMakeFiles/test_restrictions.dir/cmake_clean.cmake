@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restrictions.dir/test_restrictions.cpp.o"
+  "CMakeFiles/test_restrictions.dir/test_restrictions.cpp.o.d"
+  "test_restrictions"
+  "test_restrictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restrictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

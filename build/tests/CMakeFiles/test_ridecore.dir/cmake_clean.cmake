@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ridecore.dir/test_ridecore.cpp.o"
+  "CMakeFiles/test_ridecore.dir/test_ridecore.cpp.o.d"
+  "test_ridecore"
+  "test_ridecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ridecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thumb_asm.dir/test_thumb_asm.cpp.o"
+  "CMakeFiles/test_thumb_asm.dir/test_thumb_asm.cpp.o.d"
+  "test_thumb_asm"
+  "test_thumb_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thumb_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thumb_iss.dir/test_thumb_iss.cpp.o"
+  "CMakeFiles/test_thumb_iss.dir/test_thumb_iss.cpp.o.d"
+  "test_thumb_iss"
+  "test_thumb_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thumb_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
