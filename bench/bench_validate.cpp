@@ -1,0 +1,83 @@
+// Measures the cost of the post-transform validation safety net on the
+// Ibex rv32i reduction: PDAT alone vs PDAT + bounded equivalence miter vs
+// PDAT + miter + ISS lockstep, plus a small fault-injection campaign that
+// demonstrates every fault class is caught.
+#include <iostream>
+
+#include "bench_util.h"
+#include "isa/rv32_subsets.h"
+#include "validate/fault.h"
+#include "validate/lockstep.h"
+
+using namespace pdat;
+using namespace pdat::bench;
+
+int main() {
+  const cores::IbexCore core = make_ibex_baseline();
+  const auto subset = isa::rv32_subset_named("rv32i");
+  const auto instr_q = core.instr_reg_q;
+  const auto restrict_fn = [&](Netlist& a) {
+    return restrict_isa_cutpoint(a, instr_q, subset);
+  };
+
+  std::vector<VariantRow> rows;
+  rows.push_back(make_row("Ibex Full (no PDAT)", core.netlist));
+
+  std::cerr << "[bench] baseline PDAT...\n";
+  Timer t_base;
+  const PdatResult base = run_pdat(core.netlist, restrict_fn);
+  const double base_s = t_base.seconds();
+  std::cerr << "[bench] baseline done in " << base_s << "s\n";
+  rows.push_back(make_row("RV32i (no validation)", base, base_s));
+
+  struct V {
+    const char* label;
+    int depth;
+    double deadline;
+    bool lockstep;
+  };
+  // Depth >= 4 makes the monolithic Ibex miter blow up, so the deep variant
+  // runs under a wall-clock deadline and is expected to degrade to
+  // Inconclusive rather than hang — that path is part of what this measures.
+  const V variants[] = {
+      {"RV32i + miter d=2", 2, 0, false},
+      {"RV32i + miter d=4 30s cap", 4, 30, false},
+      {"RV32i + miter + lockstep", 2, 0, true},
+  };
+  for (const auto& v : variants) {
+    PdatOptions opt;
+    opt.validate.enabled = true;
+    opt.validate.miter.depth = v.depth;
+    opt.validate.miter.deadline_seconds = v.deadline;
+    if (v.lockstep) opt.validate.lockstep = validate::rv32_lockstep_fn(true);
+    std::cerr << "[bench] " << v.label << "...\n";
+    Timer t;
+    const PdatResult res = run_pdat(core.netlist, restrict_fn, opt);
+    const double s = t.seconds();
+    rows.push_back(make_row(v.label, res, s));
+    std::cout << v.label << ": validation " << res.validation.summary() << " ("
+              << res.validation.seconds << "s of " << s << "s total, +"
+              << 100.0 * (s - base_s) / base_s << "% over unvalidated)\n";
+  }
+  std::cout << "\n";
+  print_variant_table(std::cout, rows, "Validation overhead: Ibex RV32i",
+                      "Ibex Full (no PDAT)");
+
+  // Fault campaign: one activated fault per class, each must be detected.
+  validate::CampaignOptions copt;
+  copt.faults_per_class = 1;
+  copt.miter.depth = 2;
+  // At a 2-cycle activation horizon most randomly chosen proofs sit too deep
+  // in the pipeline to reach an output; more retries find the shallow ones.
+  copt.max_attempts = 256;
+  copt.lockstep = validate::rv32_lockstep_fn(true);
+  Timer t_camp;
+  const validate::CampaignResult camp =
+      validate::run_fault_campaign(core.netlist, base.transformed, base.proven_props,
+                                   restrict_fn, copt);
+  std::cout << "Fault campaign (" << t_camp.seconds() << "s): " << camp.summary() << "\n";
+  std::cout << "Expected shape: the static miter dominates validation cost; every\n"
+               "injected fault activates within the miter's bounded horizon, so all\n"
+               "are caught; lockstep adds ISS-speed end-to-end coverage on top.\n";
+  return camp.all_detected() ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "formal/induction.h"
 
+#include <chrono>
+
 #include "base/log.h"
 #include "formal/cnf_encoder.h"
 
@@ -86,12 +88,28 @@ bool violated_in_model(const sat::Solver& s, const GateProperty& p, const Frame&
   return false;
 }
 
+using Clock = std::chrono::steady_clock;
+
+/// Optional wall-clock cutoff shared by all induction loops. `expired()`
+/// latches InductionStats::timed_out so callers abort conservatively.
+struct Deadline {
+  bool armed = false;
+  Clock::time_point at{};
+  InductionStats* st = nullptr;
+
+  bool expired() const {
+    if (!armed || Clock::now() < at) return false;
+    st->timed_out = true;
+    return true;
+  }
+};
+
 /// One elimination pass: repeatedly solve "some alive candidate is violated
 /// in `check_frame`", killing falsified candidates, until UNSAT or budget.
 /// Returns the number of candidates killed.
 std::size_t eliminate(sat::Solver& s, const Frame& check_frame,
                       std::vector<GateProperty>& cands, std::vector<bool>& alive,
-                      const InductionOptions& opt, InductionStats& st) {
+                      const InductionOptions& opt, InductionStats& st, const Deadline& dl) {
   std::vector<Lit> aux(cands.size());
   std::vector<Lit> any_clause;
   const Lit trigger = sat::mk_lit(s.new_var());
@@ -105,6 +123,7 @@ std::size_t eliminate(sat::Solver& s, const Frame& check_frame,
 
   std::size_t kills = 0;
   for (;;) {
+    if (dl.expired()) return kills;
     ++st.sat_calls;
     const SolveResult r = s.solve({trigger}, opt.conflict_budget);
     if (r == SolveResult::Unsat) return kills;
@@ -132,6 +151,7 @@ std::size_t eliminate(sat::Solver& s, const Frame& check_frame,
     // queries; inconclusive candidates are dropped (conservative).
     for (std::size_t i = 0; i < cands.size(); ++i) {
       if (!alive[i]) continue;
+      if (dl.expired()) return kills;
       ++st.sat_calls;
       const SolveResult ri = s.solve({aux[i]}, opt.conflict_budget / 16 + 1);
       if (ri == SolveResult::Unsat) continue;
@@ -166,10 +186,19 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
   FrameEncoder enc(nl);
   std::vector<bool> alive(candidates.size(), true);
 
+  Deadline dl;
+  dl.st = &st;
+  if (opt.deadline_seconds > 0) {
+    dl.armed = true;
+    dl.at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(opt.deadline_seconds));
+  }
+
   // --- base case: frames 0..k-1 from the power-on state --------------------
   const int k = opt.k < 1 ? 1 : opt.k;
   {
     sat::Solver s;
+    if (dl.armed) s.set_deadline(dl.at);
     std::vector<Frame> frames;
     for (int j = 0; j < k; ++j) {
       frames.push_back(enc.encode(s));
@@ -180,9 +209,14 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
       }
       for (NetId a : env.assumes) s.add_clause(frames.back().lit(a, true));
     }
-    for (int j = 0; j < k; ++j) {
-      eliminate(s, frames[static_cast<std::size_t>(j)], candidates, alive, opt, st);
+    for (int j = 0; j < k && !st.timed_out; ++j) {
+      eliminate(s, frames[static_cast<std::size_t>(j)], candidates, alive, opt, st, dl);
     }
+  }
+  if (st.timed_out) {
+    log_warn() << "induction: deadline expired during base case; proving nothing";
+    if (stats != nullptr) *stats = st;
+    return {};
   }
   st.after_base = 0;
   for (bool a : alive)
@@ -199,6 +233,7 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
   // candidate.
   {
     sat::Solver s;
+    if (dl.armed) s.set_deadline(dl.at);
     std::vector<Frame> frames;
     for (int j = 0; j <= k; ++j) {
       frames.push_back(enc.encode(s));
@@ -294,6 +329,7 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
 
     bool proven_fixpoint = false;
     while (!proven_fixpoint) {
+      if (dl.expired()) break;
       ++st.rounds;
       ++st.sat_calls;
       const SolveResult r = s.solve(assumptions(), opt.conflict_budget);
@@ -311,6 +347,7 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
         std::size_t killed = 0;
         for (std::size_t i = 0; i < candidates.size(); ++i) {
           if (!alive[i]) continue;
+          if (dl.expired()) break;
           std::vector<Lit> as = assumptions();
           as[0] = aux[i];  // replace trigger with this candidate's violation
           ++st.sat_calls;
@@ -324,9 +361,17 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
             ++st.budget_kills;
           }
         }
-        if (killed == 0) proven_fixpoint = true;
+        if (killed == 0 && !st.timed_out) proven_fixpoint = true;
       }
     }
+  }
+
+  // A deadline abort leaves the survivor set unproved: return nothing rather
+  // than an unsound partial result.
+  if (st.timed_out) {
+    log_warn() << "induction: deadline expired before the fixpoint closed; proving nothing";
+    if (stats != nullptr) *stats = st;
+    return {};
   }
 
   std::vector<GateProperty> proven;

@@ -43,6 +43,10 @@ struct InductionOptions {
   /// drive randomly when no environment driver owns them.
   std::vector<NetId> sim_free_nets;
   std::uint64_t seed = 0xCE7;
+  /// Wall-clock deadline for the whole prove_invariants call; 0 = unlimited.
+  /// On expiry the fixpoint aborts conservatively: nothing is proved
+  /// (stats->timed_out is set), never a partially-checked survivor set.
+  double deadline_seconds = 0;
 };
 
 struct InductionStats {
@@ -53,6 +57,9 @@ struct InductionStats {
   std::size_t cex_kills = 0;
   std::size_t budget_kills = 0;
   int rounds = 0;
+  /// The deadline expired before the fixpoint closed; the proved set is
+  /// empty (aborting mid-fixpoint must not ship unproved survivors).
+  bool timed_out = false;
 };
 
 /// Returns the proved subset of `candidates`.

@@ -4,9 +4,16 @@
 
 namespace pdat {
 
-std::vector<std::string> check_netlist(const Netlist& nl) {
+std::vector<std::string> check_netlist(const Netlist& nl) { return check_netlist(nl, {}); }
+
+std::vector<std::string> check_netlist(const Netlist& nl, const std::vector<NetId>& allowed_free) {
   std::vector<std::string> problems;
   std::vector<bool> is_pi(nl.num_nets(), false);
+  // Environment cutpoints are undriven by construction; treat them as
+  // pseudo-inputs for the floating-net checks.
+  for (NetId n : allowed_free) {
+    if (n < nl.num_nets() && nl.driver(n) == kNoCell) is_pi[n] = true;
+  }
   for (const auto& p : nl.inputs()) {
     for (NetId n : p.bits) {
       if (n >= nl.num_nets()) {
@@ -52,8 +59,10 @@ std::vector<std::string> check_netlist(const Netlist& nl) {
   return problems;
 }
 
-void require_well_formed(const Netlist& nl) {
-  auto problems = check_netlist(nl);
+void require_well_formed(const Netlist& nl) { require_well_formed(nl, {}); }
+
+void require_well_formed(const Netlist& nl, const std::vector<NetId>& allowed_free) {
+  auto problems = check_netlist(nl, allowed_free);
   if (!problems.empty()) throw PdatError("netlist check failed: " + problems.front());
 }
 

@@ -13,7 +13,13 @@ namespace pdat {
 /// no combinational cycles, ports reference valid nets).
 std::vector<std::string> check_netlist(const Netlist& nl);
 
+/// Variant for analysis netlists with environment cutpoints: nets listed in
+/// `allowed_free` may legitimately be undriven non-inputs (cut_net semantics)
+/// and are not reported as floating.
+std::vector<std::string> check_netlist(const Netlist& nl, const std::vector<NetId>& allowed_free);
+
 /// Throws PdatError with the first problem if any.
 void require_well_formed(const Netlist& nl);
+void require_well_formed(const Netlist& nl, const std::vector<NetId>& allowed_free);
 
 }  // namespace pdat

@@ -1,0 +1,84 @@
+// Structured pipeline errors and stage identities.
+//
+// run_pdat reports failures through PdatError subclasses that carry the
+// failing stage, so callers can distinguish configuration errors (vacuous
+// environment, malformed restriction circuit — always thrown) from internal
+// stage failures (degraded to an identity transform unless PdatOptions::
+// strict) and validation vetoes.
+#pragma once
+
+#include <string>
+
+#include "base/types.h"
+
+namespace pdat {
+
+enum class PdatStage {
+  Restrict = 0,   // restrict_fn + analysis-netlist well-formedness check
+  EnvCheck,       // environment satisfiability (vacuity) check
+  Annotate,       // property-library annotation + equivalence candidates
+  SimFilter,      // constrained-random candidate filtering
+  Induction,      // temporal-induction proof
+  Rewire,         // netlist rewiring
+  Resynthesis,    // logic resynthesis
+  Validate,       // post-transform validation (miter / lockstep)
+};
+inline constexpr std::size_t kNumPdatStages = 8;
+
+inline const char* stage_name(PdatStage s) {
+  switch (s) {
+    case PdatStage::Restrict: return "restrict";
+    case PdatStage::EnvCheck: return "env-check";
+    case PdatStage::Annotate: return "annotate";
+    case PdatStage::SimFilter: return "sim-filter";
+    case PdatStage::Induction: return "induction";
+    case PdatStage::Rewire: return "rewire";
+    case PdatStage::Resynthesis: return "resynthesis";
+    case PdatStage::Validate: return "validate";
+  }
+  return "?";
+}
+
+/// A pipeline stage failed. `what()` is prefixed with the stage name.
+class StageError : public PdatError {
+ public:
+  StageError(PdatStage stage, const std::string& what)
+      : PdatError(std::string("PDAT[") + stage_name(stage) + "]: " + what), stage_(stage) {}
+  PdatStage stage() const { return stage_; }
+
+ private:
+  PdatStage stage_;
+};
+
+/// The environment restriction is unusable (vacuous / malformed).
+class EnvironmentError : public StageError {
+ public:
+  explicit EnvironmentError(const std::string& what)
+      : StageError(PdatStage::EnvCheck, what) {}
+};
+
+/// A stage exceeded its wall-clock deadline.
+class StageTimeoutError : public StageError {
+ public:
+  StageTimeoutError(PdatStage stage, double elapsed_seconds, double deadline_seconds)
+      : StageError(stage, "deadline exceeded (" + std::to_string(elapsed_seconds) + "s > " +
+                              std::to_string(deadline_seconds) + "s)"),
+        elapsed_(elapsed_seconds),
+        deadline_(deadline_seconds) {}
+  double elapsed_seconds() const { return elapsed_; }
+  double deadline_seconds() const { return deadline_; }
+
+ private:
+  double elapsed_;
+  double deadline_;
+};
+
+/// Post-transform validation rejected the transformed netlist
+/// (only thrown when ValidationOptions::fail_hard is set).
+class ValidationError : public StageError {
+ public:
+  explicit ValidationError(const std::string& what)
+      : StageError(PdatStage::Validate, what) {}
+};
+
+}  // namespace pdat

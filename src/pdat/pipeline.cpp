@@ -1,10 +1,39 @@
 #include "pdat/pipeline.h"
 
+#include <chrono>
+#include <cmath>
+#include <limits>
+
 #include "base/log.h"
 #include "formal/bmc.h"
 #include "netlist/check.h"
 
 namespace pdat {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t idx(PdatStage s) { return static_cast<std::size_t>(s); }
+
+/// Tracks the per-stage and whole-pipeline wall-clock budgets.
+struct PipelineClock {
+  Clock::time_point start = Clock::now();
+  double stage_limit = 0;
+  double total_limit = 0;
+
+  double elapsed() const { return std::chrono::duration<double>(Clock::now() - start).count(); }
+  bool total_expired() const { return total_limit > 0 && elapsed() >= total_limit; }
+  /// Seconds a stage starting now may spend (infinity when unlimited).
+  double stage_budget() const {
+    double b = std::numeric_limits<double>::infinity();
+    if (stage_limit > 0) b = stage_limit;
+    if (total_limit > 0) b = std::min(b, total_limit - elapsed());
+    return b;
+  }
+};
+
+}  // namespace
 
 PdatResult run_pdat(const Netlist& design,
                     const std::function<RestrictionResult(Netlist&)>& restrict_fn,
@@ -14,61 +43,195 @@ PdatResult run_pdat(const Netlist& design,
   res.area_before = design.area();
   res.flops_before = design.num_flops();
 
+  PipelineClock clk;
+  clk.stage_limit = opt.stage_deadline_seconds;
+  clk.total_limit = opt.total_deadline_seconds;
+
+  double stage_t0 = 0;
+  const auto begin_stage = [&] { stage_t0 = clk.elapsed(); };
+  const auto end_stage = [&](PdatStage st) {
+    const double took = clk.elapsed() - stage_t0;
+    res.stage_seconds[idx(st)] = took;
+    return took;
+  };
+  // Degrades gracefully (note + warn) or throws under `strict`.
+  const auto degrade = [&](PdatStage st, const std::string& why) {
+    if (opt.strict) throw StageError(st, why);
+    res.degraded = true;
+    res.degradations.push_back(std::string(stage_name(st)) + ": " + why);
+    log_warn() << "PDAT: stage '" << stage_name(st) << "' degraded: " << why;
+  };
+  const auto check_stage_deadline = [&](PdatStage st) {
+    const double took = res.stage_seconds[idx(st)];
+    if (clk.stage_limit > 0 && took > clk.stage_limit) {
+      if (opt.strict) throw StageTimeoutError(st, took, clk.stage_limit);
+      degrade(st, "exceeded stage deadline (" + std::to_string(took) + "s)");
+    }
+  };
+
   // --- build the analysis netlist: design + restrictions -------------------
+  // A malformed restriction is a configuration error: always thrown, never
+  // degraded, so a bad environment cannot silently yield an identity run.
+  begin_stage();
   Netlist analysis = design;
   const CellId design_cells = static_cast<CellId>(design.num_cells_raw());
-  RestrictionResult restr = restrict_fn(analysis);
-
-  if (opt.check_env_satisfiable && !env_satisfiable(analysis, restr.env, opt.env_check_depth)) {
-    throw PdatError("PDAT: environment restriction is unsatisfiable (vacuous)");
+  RestrictionResult restr;
+  try {
+    restr = restrict_fn(analysis);
+    require_well_formed(analysis, restr.cut_nets);
+  } catch (const StageError&) {
+    throw;
+  } catch (const PdatError& e) {
+    throw StageError(PdatStage::Restrict, e.what());
   }
+  end_stage(PdatStage::Restrict);
+
+  begin_stage();
+  if (opt.check_env_satisfiable && !env_satisfiable(analysis, restr.env, opt.env_check_depth)) {
+    throw EnvironmentError("environment restriction is unsatisfiable (vacuous)");
+  }
+  end_stage(PdatStage::EnvCheck);
 
   // --- annotate with the property library ----------------------------------
-  PropertyLibraryOptions plopt = opt.properties;
-  plopt.cell_limit = design_cells;
-  for (NetId n : restr.cut_nets) plopt.excluded_nets.push_back(n);
-  std::vector<GateProperty> candidates = annotate_netlist(analysis, plopt);
-  candidates.insert(candidates.end(), restr.strengthen.begin(), restr.strengthen.end());
-  if (plopt.equivalence_props) {
-    EquivCandidateOptions eopt;
-    eopt.sim = opt.sim;
-    for (NetId n : restr.cut_nets) eopt.sim.free_nets.push_back(n);
-    eopt.cell_limit = design_cells;
-    const auto eq = equivalence_candidates(analysis, restr.env, eopt);
-    candidates.insert(candidates.end(), eq.begin(), eq.end());
+  begin_stage();
+  std::vector<GateProperty> candidates;
+  try {
+    PropertyLibraryOptions plopt = opt.properties;
+    plopt.cell_limit = design_cells;
+    for (NetId n : restr.cut_nets) plopt.excluded_nets.push_back(n);
+    candidates = annotate_netlist(analysis, plopt);
+    candidates.insert(candidates.end(), restr.strengthen.begin(), restr.strengthen.end());
+    if (plopt.equivalence_props) {
+      EquivCandidateOptions eopt;
+      eopt.sim = opt.sim;
+      for (NetId n : restr.cut_nets) eopt.sim.free_nets.push_back(n);
+      eopt.cell_limit = design_cells;
+      const auto eq = equivalence_candidates(analysis, restr.env, eopt);
+      candidates.insert(candidates.end(), eq.begin(), eq.end());
+    }
+  } catch (const PdatError& e) {
+    candidates.clear();
+    degrade(PdatStage::Annotate, e.what());
   }
+  end_stage(PdatStage::Annotate);
+  check_stage_deadline(PdatStage::Annotate);
   res.candidates = candidates.size();
 
   // --- property checking stage ----------------------------------------------
-  SimFilterOptions simopt = opt.sim;
-  for (NetId n : restr.cut_nets) simopt.free_nets.push_back(n);
-  const SimFilterResult filtered = sim_filter(analysis, restr.env, std::move(candidates), simopt);
-  res.after_sim_filter = filtered.survivors.size();
-  if (filtered.assume_violation_cycles > 0) {
-    log_warn() << "PDAT: stimulus violated assumes in " << filtered.assume_violation_cycles
-               << " cycles (filtering quality reduced)";
+  begin_stage();
+  std::vector<GateProperty> survivors;
+  try {
+    SimFilterOptions simopt = opt.sim;
+    for (NetId n : restr.cut_nets) simopt.free_nets.push_back(n);
+    SimFilterResult filtered = sim_filter(analysis, restr.env, std::move(candidates), simopt);
+    res.assume_violation_cycles = filtered.assume_violation_cycles;
+    if (filtered.assume_violation_cycles > 0) {
+      log_warn() << "PDAT: stimulus violated assumes in " << filtered.assume_violation_cycles
+                 << " cycles (filtering quality reduced)";
+    }
+    survivors = std::move(filtered.survivors);
+  } catch (const PdatError& e) {
+    survivors.clear();
+    degrade(PdatStage::SimFilter, e.what());
   }
+  end_stage(PdatStage::SimFilter);
+  check_stage_deadline(PdatStage::SimFilter);
+  res.after_sim_filter = survivors.size();
   log_info() << "PDAT: " << res.candidates << " candidates, " << res.after_sim_filter
              << " after simulation filtering";
 
-  InductionOptions iopt = opt.induction;
-  for (NetId n : restr.cut_nets) iopt.sim_free_nets.push_back(n);
-  const std::vector<GateProperty> proven =
-      prove_invariants(analysis, restr.env, filtered.survivors, iopt, &res.induction);
+  begin_stage();
+  std::vector<GateProperty> proven;
+  if (clk.total_expired()) {
+    degrade(PdatStage::Induction, "total deadline exhausted before the proof stage; skipping");
+  } else if (!survivors.empty()) {
+    try {
+      InductionOptions iopt = opt.induction;
+      for (NetId n : restr.cut_nets) iopt.sim_free_nets.push_back(n);
+      const double budget = clk.stage_budget();
+      if (std::isfinite(budget)) {
+        iopt.deadline_seconds = iopt.deadline_seconds > 0
+                                    ? std::min(iopt.deadline_seconds, budget)
+                                    : budget;
+      }
+      proven = prove_invariants(analysis, restr.env, std::move(survivors), iopt, &res.induction);
+      if (res.induction.timed_out) {
+        degrade(PdatStage::Induction, "proof deadline expired; no invariants proved");
+      }
+    } catch (const PdatError& e) {
+      proven.clear();
+      degrade(PdatStage::Induction, e.what());
+    }
+  }
+  end_stage(PdatStage::Induction);
+  if (!res.induction.timed_out) check_stage_deadline(PdatStage::Induction);
+  if (res.induction.budget_kills > 0) {
+    log_warn() << "PDAT: conflict budget dropped " << res.induction.budget_kills
+               << " candidates (inconclusive, conservatively not proved)";
+  }
   res.proven = proven.size();
+  res.proven_props = proven;
   log_info() << "PDAT: proved " << res.proven << " gate invariants";
 
   // --- rewiring stage (on a fresh copy of the original design) --------------
+  begin_stage();
   res.transformed = design;
-  res.rewires = apply_rewiring(res.transformed, proven);
+  try {
+    res.rewires = apply_rewiring(res.transformed, proven);
+  } catch (const PdatError& e) {
+    res.transformed = design;
+    res.rewires = {};
+    degrade(PdatStage::Rewire, e.what());
+  }
+  end_stage(PdatStage::Rewire);
 
   // --- logic resynthesis stage ----------------------------------------------
-  res.resynthesis = opt::optimize(res.transformed, opt.resynthesis_iterations);
-  require_well_formed(res.transformed);
+  begin_stage();
+  if (clk.total_expired()) {
+    degrade(PdatStage::Resynthesis, "total deadline exhausted; shipping unoptimized rewiring");
+  } else {
+    try {
+      res.resynthesis = opt::optimize(res.transformed, opt.resynthesis_iterations);
+      require_well_formed(res.transformed);
+    } catch (const PdatError& e) {
+      res.transformed = design;
+      res.resynthesis = {};
+      degrade(PdatStage::Resynthesis, std::string(e.what()) + " — reverted to unreduced design");
+    }
+  }
+  end_stage(PdatStage::Resynthesis);
+  check_stage_deadline(PdatStage::Resynthesis);
+
+  // --- validation safety net -------------------------------------------------
+  if (opt.validate.enabled) {
+    begin_stage();
+    try {
+      validate::ValidationOptions vopt = opt.validate;
+      const double budget = clk.stage_budget();
+      if (std::isfinite(budget) && vopt.miter.deadline_seconds <= 0) {
+        vopt.miter.deadline_seconds = budget;
+      }
+      res.validation = validate::run_validation(design, res.transformed, restrict_fn, proven, vopt);
+      if (!res.validation.ok()) {
+        if (opt.validate.fail_hard) throw ValidationError(res.validation.summary());
+        res.transformed = design;  // never ship a core a validator rejected
+        res.rewires = {};
+        res.resynthesis = {};
+        degrade(PdatStage::Validate,
+                res.validation.summary() + " — reverted to unreduced design");
+      }
+    } catch (const ValidationError&) {
+      throw;
+    } catch (const PdatError& e) {
+      degrade(PdatStage::Validate, e.what());
+    }
+    end_stage(PdatStage::Validate);
+  }
 
   res.gates_after = res.transformed.gate_count();
   res.area_after = res.transformed.area();
   res.flops_after = res.transformed.num_flops();
+  res.total_seconds = clk.elapsed();
   return res;
 }
 

@@ -1,17 +1,25 @@
 // The PDAT pipeline (paper Fig. 2): Property Checking -> Netlist Rewiring
 // -> Logic Resynthesis, driven by a Property Library annotation and an
-// environment restriction.
+// environment restriction — plus the post-transform validation safety net
+// (bounded equivalence miter, lockstep co-simulation) and graceful
+// degradation: internal stage failures and blown deadlines fall back to a
+// sound partial result (at worst the identity transform) instead of
+// aborting, unless `strict` is set.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "formal/candidates.h"
 #include "formal/induction.h"
 #include "opt/optimizer.h"
+#include "pdat/errors.h"
 #include "pdat/property_library.h"
 #include "pdat/restrictions.h"
 #include "pdat/rewire.h"
+#include "validate/validate.h"
 
 namespace pdat {
 
@@ -22,6 +30,16 @@ struct PdatOptions {
   int resynthesis_iterations = 32;
   bool check_env_satisfiable = true;  // reject vacuous environments
   int env_check_depth = 3;
+  /// Wall-clock budget per stage / for the whole pipeline; 0 = unlimited.
+  /// The induction stage aborts mid-proof (proving nothing); other stages
+  /// are checked at their boundaries, and stages that have not started when
+  /// the total budget is gone are skipped.
+  double stage_deadline_seconds = 0;
+  double total_deadline_seconds = 0;
+  /// Stage failures throw StageError instead of degrading gracefully.
+  bool strict = false;
+  /// Post-transform validation (off by default; see src/validate/).
+  validate::ValidationOptions validate;
 };
 
 struct PdatResult {
@@ -30,10 +48,21 @@ struct PdatResult {
   std::size_t candidates = 0;
   std::size_t after_sim_filter = 0;
   std::size_t proven = 0;
+  std::vector<GateProperty> proven_props;
   InductionStats induction;
+  std::uint64_t assume_violation_cycles = 0;
   // Rewiring + resynthesis.
   RewireStats rewires;
   opt::OptimizeStats resynthesis;
+  // Validation safety net.
+  validate::ValidationReport validation;
+  // Graceful degradation: true when any stage fell back to a safe partial
+  // result; each entry in `degradations` names the stage and the reason.
+  bool degraded = false;
+  std::vector<std::string> degradations;
+  // Wall-clock accounting, indexed by PdatStage.
+  std::array<double, kNumPdatStages> stage_seconds{};
+  double total_seconds = 0;
   // Headline numbers.
   std::size_t gates_before = 0;
   std::size_t gates_after = 0;
@@ -45,6 +74,10 @@ struct PdatResult {
 
 /// `restrict_fn` receives the analysis copy of `design` and installs the
 /// environment restrictions (cutpoints, constraint circuits, stimulus).
+///
+/// Throws StageError(Restrict) on a malformed restriction and
+/// EnvironmentError on a vacuous one regardless of `strict` — a bad
+/// configuration must never silently produce an identity transform.
 PdatResult run_pdat(const Netlist& design,
                     const std::function<RestrictionResult(Netlist&)>& restrict_fn,
                     const PdatOptions& opt = {});

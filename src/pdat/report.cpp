@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <ostream>
 
+#include "validate/verdict.h"
+
 namespace pdat {
 
 VariantRow make_row(const std::string& name, const Netlist& nl) {
@@ -18,7 +20,21 @@ VariantRow make_row(const std::string& name, const PdatResult& res, double secon
   VariantRow r = make_row(name, res.transformed);
   r.candidates = res.candidates;
   r.proven = res.proven;
-  r.seconds = seconds;
+  r.budget_kills = res.induction.budget_kills;
+  r.assume_violations = static_cast<std::size_t>(res.assume_violation_cycles);
+  r.degraded = res.degraded;
+  if (res.validation.miter != validate::Verdict::Skipped ||
+      res.validation.lockstep != validate::Verdict::Skipped) {
+    using validate::Verdict;
+    const auto worst = [](Verdict a, Verdict b) {
+      if (a == Verdict::Fail || b == Verdict::Fail) return Verdict::Fail;
+      if (a == Verdict::Inconclusive || b == Verdict::Inconclusive) return Verdict::Inconclusive;
+      if (a == Verdict::Pass || b == Verdict::Pass) return Verdict::Pass;
+      return Verdict::Skipped;
+    };
+    r.validation = validate::verdict_name(worst(res.validation.miter, res.validation.lockstep));
+  }
+  r.seconds = seconds > 0 ? seconds : res.total_seconds;
   return r;
 }
 
@@ -39,13 +55,24 @@ void print_variant_table(std::ostream& os, std::vector<VariantRow> rows, const s
   os << std::left << std::setw(26) << "variant" << std::right << std::setw(9) << "gates"
      << std::setw(12) << "area_um2" << std::setw(8) << "flops" << std::setw(10) << "gates_red"
      << std::setw(10) << "area_red" << std::setw(11) << "cands" << std::setw(9) << "proven"
-     << std::setw(9) << "sec" << "\n";
+     << std::setw(13) << "valid" << std::setw(9) << "sec" << "\n";
   for (const auto& r : rows) {
     os << std::left << std::setw(26) << r.name << std::right << std::setw(9) << r.gates
        << std::setw(12) << std::fixed << std::setprecision(1) << r.area << std::setw(8) << r.flops
        << std::setw(9) << std::setprecision(1) << r.gate_reduction_pct << "%" << std::setw(9)
        << r.area_reduction_pct << "%" << std::setw(11) << r.candidates << std::setw(9) << r.proven
-       << std::setw(9) << std::setprecision(1) << r.seconds << "\n";
+       << std::setw(13) << r.validation << std::setw(9) << std::setprecision(1) << r.seconds
+       << "\n";
+  }
+  // Proof-quality footnotes: anything that silently weakened a row's result.
+  for (const auto& r : rows) {
+    if (r.budget_kills == 0 && r.assume_violations == 0 && !r.degraded) continue;
+    os << " ! " << r.name << ":";
+    if (r.budget_kills > 0) os << " " << r.budget_kills << " candidates lost to conflict budget;";
+    if (r.assume_violations > 0)
+      os << " " << r.assume_violations << " assume-violation cycles during filtering;";
+    if (r.degraded) os << " pipeline degraded (see PdatResult::degradations);";
+    os << "\n";
   }
   os << "\n";
 }

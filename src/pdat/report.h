@@ -20,6 +20,13 @@ struct VariantRow {
   // Property-checking funnel (0 for non-PDAT rows).
   std::size_t candidates = 0;
   std::size_t proven = 0;
+  // Proof-quality caveats: candidates dropped by the SAT conflict budget and
+  // cycles where the stimulus violated assumes (both warn-worthy, footnoted).
+  std::size_t budget_kills = 0;
+  std::size_t assume_violations = 0;
+  // Validation safety-net verdict ("-" for non-PDAT / unvalidated rows).
+  std::string validation = "-";
+  bool degraded = false;
   double seconds = 0;
 };
 
@@ -27,7 +34,9 @@ VariantRow make_row(const std::string& name, const Netlist& nl);
 VariantRow make_row(const std::string& name, const PdatResult& r, double seconds = 0);
 
 /// Prints an aligned table; reductions are computed against the row named
-/// `baseline` (or the first row when empty).
+/// `baseline` (or the first row when empty). Rows with proof-quality
+/// caveats (budget kills, assume violations, degradations) get a trailing
+/// footnote line each.
 void print_variant_table(std::ostream& os, std::vector<VariantRow> rows,
                          const std::string& title, const std::string& baseline = "");
 

@@ -409,6 +409,13 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conf
         cancel_until(0);
         return SolveResult::Unknown;
       }
+      // Wall-clock deadline: sampled every 256 conflicts to keep the clock
+      // read off the hot path.
+      if (has_deadline_ && (conflicts_ & 0xff) == 0 &&
+          std::chrono::steady_clock::now() >= deadline_) {
+        cancel_until(0);
+        return SolveResult::Unknown;
+      }
       if (conflicts_ - restart_base >= restart_limit) {
         ++restart_idx;
         restart_limit = luby(64, restart_idx);

@@ -7,6 +7,7 @@
 // budget hit as "inconclusive" and conservatively keeps the gate).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -54,6 +55,16 @@ class Solver {
 
   /// Solves under assumptions. conflict_budget < 0 means unlimited.
   SolveResult solve(const std::vector<Lit>& assumptions = {}, std::int64_t conflict_budget = -1);
+
+  /// Optional wall-clock deadline applying to every subsequent solve() call:
+  /// once passed, solve() returns Unknown (checked periodically on conflicts,
+  /// so very easy queries may still complete slightly past the deadline).
+  /// Used by the pipeline's per-stage deadlines and the validation miter.
+  void set_deadline(std::chrono::steady_clock::time_point tp) {
+    deadline_ = tp;
+    has_deadline_ = true;
+  }
+  void clear_deadline() { has_deadline_ = false; }
 
   /// Model access after Sat.
   bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)] == LBool::True; }
@@ -110,6 +121,8 @@ class Solver {
   double var_decay_ = 0.95;
   bool ok_ = true;
   int qhead_ = 0;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
 
   std::uint64_t conflicts_ = 0;
   std::uint64_t decisions_ = 0;

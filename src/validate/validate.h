@@ -1,0 +1,53 @@
+// Post-transform validation orchestrator: glues the bounded equivalence
+// miter and the lockstep co-simulation into a single report the PDAT
+// pipeline can act on (revert / throw / annotate).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "formal/property.h"
+#include "netlist/netlist.h"
+#include "pdat/restrictions.h"
+#include "validate/lockstep.h"
+#include "validate/miter.h"
+#include "validate/verdict.h"
+
+namespace pdat::validate {
+
+struct ValidationOptions {
+  /// Master switch; when false run_pdat skips validation entirely.
+  bool enabled = false;
+  MiterOptions miter;
+  /// Optional dynamic validator (e.g. rv32_lockstep_fn()); empty = skipped.
+  LockstepFn lockstep;
+  /// When a validator fails: true = throw ValidationError, false = the
+  /// pipeline degrades gracefully (reverts to the unreduced design and
+  /// records the witness in the result).
+  bool fail_hard = false;
+};
+
+struct ValidationReport {
+  Verdict miter = Verdict::Skipped;
+  int miter_violation_frame = -1;
+  int miter_frames = 0;
+  std::uint64_t miter_conflicts = 0;
+  std::string miter_detail;
+  Verdict lockstep = Verdict::Skipped;
+  std::string lockstep_detail;
+  double seconds = 0;
+
+  /// No validator produced a Fail (Pass/Inconclusive/Skipped are all ok).
+  bool ok() const { return miter != Verdict::Fail && lockstep != Verdict::Fail; }
+  std::string summary() const;
+};
+
+/// Runs the enabled validators against a finished transform.
+ValidationReport run_validation(const Netlist& design, const Netlist& transformed,
+                                const std::function<RestrictionResult(Netlist&)>& restrict_fn,
+                                const std::vector<GateProperty>& proven,
+                                const ValidationOptions& opt);
+
+}  // namespace pdat::validate

@@ -256,6 +256,63 @@ TEST_P(InductionSoundness, ProvenInvariantsHoldUnderBmc) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, InductionSoundness, ::testing::Range(1, 9));
 
+// --- resource exhaustion degrades conservatively ------------------------------
+
+TEST(Induction, TinyConflictBudgetDropsCandidatesNeverProvesUnsoundly) {
+  // With a one-conflict budget nearly every UNSAT certificate is out of
+  // reach: the prover must drop candidates as inconclusive (budget_kills)
+  // rather than claim them proved. Whatever it still proves (propagation-
+  // only queries) must be genuinely invariant.
+  Netlist nl = test::random_netlist(99, 8, 200, 16, 6);
+  Environment env;
+  std::vector<GateProperty> cands;
+  for (CellId id : nl.live_cells()) {
+    const auto& c = nl.cell(id);
+    if (cell_is_const(c.kind)) continue;
+    cands.push_back(const0(c.out));
+    cands.push_back(const1(c.out));
+  }
+  InductionOptions opt;
+  opt.conflict_budget = 1;
+  opt.cex_sim_cycles = 0;  // no replay accelerator: force the SAT-side path
+  InductionStats st;
+  const auto proven = prove_invariants(nl, env, cands, opt, &st);
+  EXPECT_GT(st.budget_kills, 0u) << "expected inconclusive candidates to be dropped";
+  EXPECT_EQ(st.proven, proven.size());
+  for (const auto& p : proven) {
+    const BmcResult r = bmc_check(nl, env, p, 6);
+    EXPECT_FALSE(r.violated) << p.describe() << " proved under budget but violated at frame "
+                             << r.violation_frame;
+  }
+}
+
+TEST(Induction, DeadlineAbortsProvingNothing) {
+  // The counter that EnableConstrainedCounterStaysZero proves in full: with
+  // an immediately-expired deadline the prover must return an empty set and
+  // flag the timeout, never a partially-checked survivor set.
+  Netlist nl;
+  synth::Builder b(nl);
+  auto en = b.input("en", 1);
+  auto r = b.reg_decl(4, 0);
+  b.connect(r, b.mux(en[0], r.q, b.add_const(r.q, 1)));
+  b.output("q", r.q);
+  Environment env;
+  env.add_assume(b.not_(en[0]));
+  std::vector<GateProperty> cands;
+  for (NetId n : r.q) cands.push_back(const0(n));
+
+  InductionOptions opt;
+  opt.deadline_seconds = 1e-9;
+  InductionStats st;
+  const auto proven = prove_invariants(nl, env, cands, opt, &st);
+  EXPECT_TRUE(proven.empty());
+  EXPECT_TRUE(st.timed_out);
+  EXPECT_EQ(st.proven, 0u);
+
+  // Control: the same run without a deadline proves all four bits.
+  EXPECT_EQ(prove_invariants(nl, env, cands).size(), 4u);
+}
+
 // --- simulation filter ----------------------------------------------------------
 
 TEST(SimFilter, DropsEasilyFalsifiedCandidates) {
