@@ -43,6 +43,9 @@ PdatResult pdat_cm0(const Netlist& obfuscated, const isa::ThumbSubset& subset) {
         sim.set_port_per_slot(tmp, slots);
       }
       std::vector<NetId> owned_nets() const override { return bits_; }
+      std::unique_ptr<StimulusDriver> clone() const override {
+        return std::make_unique<Driver>(*this);
+      }
 
      private:
       std::vector<NetId> bits_;

@@ -2,14 +2,26 @@
 // lockstep against the ISS on a smoke-test program, and writes the reduced
 // netlist as structural Verilog.
 //
-//   ./reduce_ibex [subset] [out.v]
+//   ./reduce_ibex [subset] [out.v] [flags]
 //
 // subset: rv32imcz rv32imc rv32im rv32ic rv32i rv32e rv32ec (default rv32i),
 // or one of: reduced-addressing safety-critical no-parallelism aligned risc16,
 // or mibench-networking mibench-security mibench-automotive mibench-all.
+//
+// flags:
+//   --threads=N     proof-job worker threads (results are bit-identical
+//                   for any N)
+//   --journal=PATH  checkpoint each proof round to PATH (crash-tolerant
+//                   write-ahead journal)
+//   --resume=PATH   resume the proof from PATH's last complete round (may
+//                   equal --journal to continue the same file in place)
+//   --report=PATH   write a timing-free result report (funnel numbers,
+//                   proved invariants, gate/area counts) — byte-comparable
+//                   across interrupted-and-resumed and uninterrupted runs
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "cores/ibex/ibex_core.h"
 #include "cores/ibex/ibex_tb.h"
@@ -34,11 +46,47 @@ isa::RvSubset pick_subset(const std::string& name) {
   return isa::rv32_subset_named(name);
 }
 
+/// Everything deterministic about a run — deliberately no wall-clock fields,
+/// so an interrupted-and-resumed run produces a byte-identical report.
+void write_report(std::ostream& os, const std::string& subset_name, const PdatResult& res) {
+  os << "subset " << subset_name << "\n";
+  os << "candidates " << res.candidates << "\n";
+  os << "after_sim_filter " << res.after_sim_filter << "\n";
+  os << "proven " << res.proven << "\n";
+  os << "gates_before " << res.gates_before << "\n";
+  os << "gates_after " << res.gates_after << "\n";
+  os << "area_before " << res.area_before << "\n";
+  os << "area_after " << res.area_after << "\n";
+  os << "flops_before " << res.flops_before << "\n";
+  os << "flops_after " << res.flops_after << "\n";
+  for (const auto& p : res.proven_props) os << "prop " << p.describe() << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string subset_name = argc > 1 ? argv[1] : "rv32i";
-  const std::string out_path = argc > 2 ? argv[2] : "";
+  std::vector<std::string> positional;
+  std::string journal_path, resume_path, report_path;
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      journal_path = arg.substr(10);
+    } else if (arg.rfind("--resume=", 0) == 0) {
+      resume_path = arg.substr(9);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string subset_name = !positional.empty() ? positional[0] : "rv32i";
+  const std::string out_path = positional.size() > 1 ? positional[1] : "";
 
   const isa::RvSubset subset = pick_subset(subset_name);
   std::cout << "subset '" << subset.name << "': " << subset.size() << " instructions"
@@ -50,10 +98,24 @@ int main(int argc, char** argv) {
   std::cout << "baseline Ibex: " << core.netlist.gate_count() << " gates, "
             << core.netlist.area() << " um^2\n";
 
+  PdatOptions opt;
+  opt.induction.threads = threads;
+  opt.checkpoint_journal = journal_path;
+  opt.resume_from = resume_path;
+
   const auto instr_q = core.instr_reg_q;
-  const PdatResult res = run_pdat(core.netlist, [&](Netlist& a) {
-    return restrict_isa_cutpoint(a, instr_q, subset);
-  });
+  PdatResult res;
+  try {
+    res = run_pdat(core.netlist,
+                   [&](Netlist& a) { return restrict_isa_cutpoint(a, instr_q, subset); }, opt);
+  } catch (const PdatError& e) {
+    std::cerr << "PDAT failed: " << e.what() << "\n";
+    return 1;
+  }
+  if (res.induction.resumed_from_round >= -1) {
+    std::cout << "resumed proof from journal (last complete round "
+              << res.induction.resumed_from_round << ")\n";
+  }
   std::cout << "reduced core:  " << res.gates_after << " gates, " << res.area_after
             << " um^2  (" << res.proven << " invariants proved, "
             << 100.0 * (1.0 - static_cast<double>(res.gates_after) /
@@ -76,8 +138,14 @@ int main(int argc, char** argv) {
     const std::string err = cores::cosim_against_iss(res.transformed, prog.words);
     std::cout << (err.empty() ? "lockstep smoke test: PASS\n"
                               : "lockstep smoke test: " + err + "\n");
+    if (!err.empty()) return 1;
   }
 
+  if (!report_path.empty()) {
+    std::ofstream rep(report_path);
+    write_report(rep, subset.name, res);
+    std::cout << "wrote report " << report_path << "\n";
+  }
   if (!out_path.empty()) {
     std::ofstream out(out_path);
     write_verilog(out, res.transformed, "ibex_" + subset.name);

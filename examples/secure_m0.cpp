@@ -52,6 +52,9 @@ int main() {
         sim.set_port_per_slot(tmp, slots);
       }
       std::vector<NetId> owned_nets() const override { return bits; }
+      std::unique_ptr<StimulusDriver> clone() const override {
+        return std::make_unique<Driver>(*this);
+      }
     };
     r.env.drivers.push_back(std::make_shared<Driver>(port->bits, subset));
     return r;

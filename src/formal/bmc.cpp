@@ -1,5 +1,8 @@
 #include "formal/bmc.h"
 
+#include <chrono>
+
+#include "base/log.h"
 #include "formal/cnf_encoder.h"
 
 namespace pdat {
@@ -7,11 +10,26 @@ namespace pdat {
 using sat::Lit;
 using sat::SolveResult;
 
+namespace {
+
+/// Arms the solver's wall-clock deadline for a whole BMC call. PR 1 added
+/// deadline checks inside the induction fixpoint only; a pathological base
+/// (BMC) query could still blow the total pipeline deadline on its own.
+void arm_deadline(sat::Solver& s, double deadline_seconds) {
+  if (deadline_seconds <= 0) return;
+  s.set_deadline(std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(deadline_seconds)));
+}
+
+}  // namespace
+
 BmcResult bmc_check(const Netlist& nl, const Environment& env, const GateProperty& prop,
-                    int depth, std::int64_t conflict_budget) {
+                    int depth, std::int64_t conflict_budget, double deadline_seconds) {
   BmcResult res;
   FrameEncoder enc(nl);
   sat::Solver s;
+  arm_deadline(s, deadline_seconds);
   std::vector<Frame> frames;
   for (int t = 0; t < depth; ++t) {
     frames.push_back(enc.encode(s));
@@ -31,6 +49,13 @@ BmcResult bmc_check(const Netlist& nl, const Environment& env, const GatePropert
       case PropKind::Implies:
         assumptions = {f.lit(prop.a, true), f.lit(prop.b, false)};
         break;
+      case PropKind::Equiv: break;  // handled below via an aux literal
+    }
+    if (prop.kind == PropKind::Equiv) {
+      const Lit aux = sat::mk_lit(s.new_var());
+      s.add_clause(~aux, f.lit(prop.a, true), f.lit(prop.b, true));
+      s.add_clause(~aux, f.lit(prop.a, false), f.lit(prop.b, false));
+      assumptions = {aux};
     }
     const SolveResult r = s.solve(assumptions, conflict_budget);
     if (r == SolveResult::Sat) {
@@ -43,9 +68,11 @@ BmcResult bmc_check(const Netlist& nl, const Environment& env, const GatePropert
   return res;
 }
 
-bool env_satisfiable(const Netlist& nl, const Environment& env, int depth) {
+bool env_satisfiable(const Netlist& nl, const Environment& env, int depth,
+                     double deadline_seconds) {
   FrameEncoder enc(nl);
   sat::Solver s;
+  arm_deadline(s, deadline_seconds);
   Frame prev;
   for (int t = 0; t < depth; ++t) {
     Frame f = enc.encode(s);
@@ -56,7 +83,12 @@ bool env_satisfiable(const Netlist& nl, const Environment& env, int depth) {
     for (NetId a : env.assumes) s.add_clause(f.lit(a, true));
     prev = f;
   }
-  return s.solve({}) == SolveResult::Sat;
+  const SolveResult r = s.solve({});
+  if (r == SolveResult::Unknown) {
+    log_warn() << "bmc: environment vacuity check hit its deadline; assuming satisfiable";
+    return true;
+  }
+  return r == SolveResult::Sat;
 }
 
 }  // namespace pdat

@@ -30,6 +30,10 @@ class StimulusDriver {
   virtual void drive(BitSim& sim, Rng& rng) = 0;
   /// Nets this driver owns (so the default random driver skips them).
   virtual std::vector<NetId> owned_nets() const = 0;
+  /// Deep copy, including any sequencing state. The parallel proof engine
+  /// gives every proof job its own driver copies so that stateful stimulus
+  /// stays deterministic (and race-free) regardless of worker count.
+  virtual std::unique_ptr<StimulusDriver> clone() const = 0;
 };
 
 struct Environment {
@@ -38,6 +42,15 @@ struct Environment {
 
   void add_assume(NetId n) { assumes.push_back(n); }
 };
+
+/// Deep-copies an environment (drivers cloned, not shared).
+inline Environment clone_environment(const Environment& env) {
+  Environment out;
+  out.assumes = env.assumes;
+  out.drivers.reserve(env.drivers.size());
+  for (const auto& d : env.drivers) out.drivers.push_back(d->clone());
+  return out;
+}
 
 /// Detaches `net` from its driver, turning it into a free (cutpoint) net.
 /// The old driver keeps evaluating into a dangling net. Returns `net`.
@@ -51,6 +64,9 @@ class RandomDriver final : public StimulusDriver {
     for (NetId n : nets_) sim.set_input(n, rng.next());
   }
   std::vector<NetId> owned_nets() const override { return nets_; }
+  std::unique_ptr<StimulusDriver> clone() const override {
+    return std::make_unique<RandomDriver>(*this);
+  }
 
  private:
   std::vector<NetId> nets_;
@@ -65,6 +81,9 @@ class ConstantDriver final : public StimulusDriver {
     for (NetId n : nets_) sim.set_input(n, value_ ? ~0ULL : 0);
   }
   std::vector<NetId> owned_nets() const override { return nets_; }
+  std::unique_ptr<StimulusDriver> clone() const override {
+    return std::make_unique<ConstantDriver>(*this);
+  }
 
  private:
   std::vector<NetId> nets_;
@@ -79,6 +98,9 @@ class SampledWordDriver final : public StimulusDriver {
       : bus_(std::move(bus)), sample_(std::move(sample)) {}
   void drive(BitSim& sim, Rng& rng) override;
   std::vector<NetId> owned_nets() const override { return bus_; }
+  std::unique_ptr<StimulusDriver> clone() const override {
+    return std::make_unique<SampledWordDriver>(*this);
+  }
 
  private:
   std::vector<NetId> bus_;

@@ -1,9 +1,15 @@
 #include "formal/induction.h"
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 
 #include "base/log.h"
 #include "formal/cnf_encoder.h"
+#include "runtime/checkpoint.h"
+#include "runtime/journal.h"
+#include "runtime/supervisor.h"
+#include "sim/bitsim.h"
 
 namespace pdat {
 
@@ -59,24 +65,6 @@ void assert_property(sat::Solver& s, const GateProperty& p, const Frame& f) {
   }
 }
 
-/// Asserts a property guarded by an activation literal: act -> property@f.
-/// Dropping `act` from the assumption set retracts the assertion, which is
-/// how killed candidates stop strengthening the inductive hypothesis
-/// without rebuilding the solver.
-void assert_property_with_act(sat::Solver& s, const GateProperty& p, const Frame& f, Lit act) {
-  switch (p.kind) {
-    case PropKind::Const0: s.add_clause(~act, f.lit(p.target, false)); break;
-    case PropKind::Const1: s.add_clause(~act, f.lit(p.target, true)); break;
-    case PropKind::Implies:
-      s.add_clause(~act, f.lit(p.a, false), f.lit(p.b, true));
-      break;
-    case PropKind::Equiv:
-      s.add_clause(~act, f.lit(p.a, false), f.lit(p.b, true));
-      s.add_clause(~act, f.lit(p.a, true), f.lit(p.b, false));
-      break;
-  }
-}
-
 bool violated_in_model(const sat::Solver& s, const GateProperty& p, const Frame& f) {
   auto val = [&](NetId n) { return s.model_value(f.net_var[n]); };
   switch (p.kind) {
@@ -90,8 +78,8 @@ bool violated_in_model(const sat::Solver& s, const GateProperty& p, const Frame&
 
 using Clock = std::chrono::steady_clock;
 
-/// Optional wall-clock cutoff shared by all induction loops. `expired()`
-/// latches InductionStats::timed_out so callers abort conservatively.
+/// Optional wall-clock cutoff shared by all phases. `expired()` latches
+/// InductionStats::timed_out so callers abort conservatively.
 struct Deadline {
   bool armed = false;
   Clock::time_point at{};
@@ -104,77 +92,489 @@ struct Deadline {
   }
 };
 
-/// One elimination pass: repeatedly solve "some alive candidate is violated
-/// in `check_frame`", killing falsified candidates, until UNSAT or budget.
-/// Returns the number of candidates killed.
-std::size_t eliminate(sat::Solver& s, const Frame& check_frame,
-                      std::vector<GateProperty>& cands, std::vector<bool>& alive,
-                      const InductionOptions& opt, InductionStats& st, const Deadline& dl) {
-  std::vector<Lit> aux(cands.size());
-  std::vector<Lit> any_clause;
-  const Lit trigger = sat::mk_lit(s.new_var());
-  any_clause.push_back(~trigger);
-  for (std::size_t i = 0; i < cands.size(); ++i) {
-    if (!alive[i]) continue;
-    aux[i] = make_violation_aux(s, cands[i], check_frame);
-    any_clause.push_back(aux[i]);
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
   }
-  s.add_clause(any_clause);
+  return h;
+}
 
-  std::size_t kills = 0;
-  for (;;) {
-    if (dl.expired()) return kills;
-    ++st.sat_calls;
-    const SolveResult r = s.solve({trigger}, opt.conflict_budget);
-    if (r == SolveResult::Unsat) return kills;
-    if (r == SolveResult::Sat) {
-      std::size_t killed_here = 0;
-      for (std::size_t i = 0; i < cands.size(); ++i) {
-        if (!alive[i]) continue;
-        if (violated_in_model(s, cands[i], check_frame)) {
-          alive[i] = false;
-          s.add_clause(~aux[i]);
-          ++killed_here;
+/// Fingerprint binding a journal to a proof problem: the candidate list plus
+/// every option that can change verdicts (worker count deliberately
+/// excluded — it must not).
+std::uint64_t proof_fingerprint(const Netlist& nl, const std::vector<GateProperty>& cands,
+                                const InductionOptions& opt) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv_mix(h, nl.num_cells_raw());
+  h = fnv_mix(h, cands.size());
+  for (const GateProperty& p : cands) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(p.kind));
+    h = fnv_mix(h, p.target);
+    h = fnv_mix(h, p.a);
+    h = fnv_mix(h, p.b);
+    h = fnv_mix(h, p.cell);
+    h = fnv_mix(h, static_cast<std::uint64_t>(p.rewire_to_input + 1));
+    h = fnv_mix(h, p.rewire_inverted ? 1 : 0);
+    h = fnv_mix(h, p.rewireable ? 1 : 0);
+  }
+  h = fnv_mix(h, static_cast<std::uint64_t>(opt.conflict_budget));
+  h = fnv_mix(h, static_cast<std::uint64_t>(opt.k));
+  h = fnv_mix(h, static_cast<std::uint64_t>(opt.cex_sim_cycles));
+  for (NetId n : opt.sim_free_nets) h = fnv_mix(h, n);
+  h = fnv_mix(h, opt.seed);
+  h = fnv_mix(h, static_cast<std::uint64_t>(opt.batch_size));
+  h = fnv_mix(h, static_cast<std::uint64_t>(opt.max_job_attempts));
+  h = fnv_mix(h, static_cast<std::uint64_t>(opt.budget_escalation * 1024.0));
+  h = fnv_mix(h, opt.job_memory_bytes);
+  return h;
+}
+
+/// Per-job result, merged by candidate index after the round completes (a
+/// union, so worker count and completion order cannot change the outcome).
+struct JobOutcome {
+  std::vector<std::uint32_t> kills;  // indices falsified by models / replay
+  std::uint64_t sat_calls = 0;
+};
+
+/// Shards the alive candidate indices into fixed-size batches. Batching
+/// depends only on the alive set and batch_size — never on thread count.
+std::vector<std::vector<std::uint32_t>> shard_alive(const std::vector<bool>& alive,
+                                                    int batch_size) {
+  std::vector<std::vector<std::uint32_t>> batches;
+  const std::size_t b = batch_size < 1 ? 1 : static_cast<std::size_t>(batch_size);
+  for (std::uint32_t i = 0; i < alive.size(); ++i) {
+    if (!alive[i]) continue;
+    if (batches.empty() || batches.back().size() >= b) batches.emplace_back();
+    batches.back().push_back(i);
+  }
+  return batches;
+}
+
+std::size_t popcount(const std::vector<bool>& v) {
+  return static_cast<std::size_t>(std::count(v.begin(), v.end(), true));
+}
+
+runtime::ProofRoundRecord checkpoint_record(const InductionStats& st, int round,
+                                            const std::vector<bool>& alive) {
+  runtime::ProofRoundRecord r;
+  r.round = round;
+  r.alive = alive;
+  r.counters.sat_calls = st.sat_calls;
+  r.counters.cex_kills = st.cex_kills;
+  r.counters.budget_kills = st.budget_kills;
+  r.counters.job_retries = st.job_retries;
+  r.counters.job_drops = st.job_drops;
+  r.counters.job_crashes = st.job_crashes;
+  r.counters.rounds = static_cast<std::uint64_t>(st.rounds);
+  r.counters.after_base = st.after_base;
+  return r;
+}
+
+/// The engine state shared by the base and step phases.
+struct Engine {
+  const Netlist& nl;
+  const Environment& env;
+  const std::vector<GateProperty>& cands;
+  const InductionOptions& opt;
+  InductionStats& st;
+  const Deadline& dl;
+  FrameEncoder enc;
+  std::vector<bool> alive;
+
+  Engine(const Netlist& nl_, const Environment& env_, const std::vector<GateProperty>& c,
+         const InductionOptions& o, InductionStats& s, const Deadline& d)
+      : nl(nl_), env(env_), cands(c), opt(o), st(s), dl(d), enc(nl_),
+        alive(c.size(), true) {}
+
+  runtime::SupervisorOptions supervisor_options() const {
+    runtime::SupervisorOptions sopt;
+    sopt.threads = opt.threads;
+    sopt.max_attempts = opt.max_job_attempts < 1 ? 1 : opt.max_job_attempts;
+    sopt.escalation = opt.budget_escalation;
+    sopt.initial.conflicts = opt.conflict_budget;
+    sopt.initial.wall_seconds = opt.job_wall_seconds;
+    sopt.initial.memory_bytes = opt.job_memory_bytes;
+    if (dl.armed) {
+      sopt.has_deadline = true;
+      sopt.deadline = dl.at;
+    }
+    return sopt;
+  }
+
+  /// Applies the attempt-level wall budget and the global deadline to a
+  /// job's private solver.
+  void arm_solver(sat::Solver& s, const runtime::JobBudget& budget) const {
+    bool armed = dl.armed;
+    Clock::time_point at = dl.at;
+    if (budget.wall_seconds > 0) {
+      const auto attempt_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                                 std::chrono::duration<double>(budget.wall_seconds));
+      at = armed ? std::min(at, attempt_at) : attempt_at;
+      armed = true;
+    }
+    if (armed) s.set_deadline(at);
+  }
+
+  /// Replays a SAT model's frame-`fk` state through the bit-parallel
+  /// simulator under cloned (job-private) environment drivers, appending
+  /// every falsified candidate. Deterministic: the RNG seed depends only on
+  /// the round and job index, and driver clones always start from the same
+  /// (post-sim-filter) state.
+  void cex_replay(const sat::Solver& s, const Frame& fk, BitSim& sim, Environment& local_env,
+                  Rng& rng, std::vector<char>& job_killed, JobOutcome& out) const {
+    if (opt.cex_sim_cycles <= 0) return;
+    for (CellId flop : sim.levels().flops) {
+      const NetId q = nl.cell(flop).out;
+      sim.set_flop_state(flop, s.model_value(fk.net_var[q]) ? ~0ULL : 0);
+    }
+    for (int cyc = 0; cyc < opt.cex_sim_cycles; ++cyc) {
+      drive_inputs(nl, local_env, sim, rng, opt.sim_free_nets);
+      sim.eval();
+      bool env_ok = true;
+      for (NetId a : local_env.assumes) {
+        if (sim.value(a) != ~0ULL) {
+          env_ok = false;
+          break;
         }
       }
-      if (killed_here == 0) {
-        // The model satisfied the trigger via an aux of an already-killed
-        // candidate — cannot happen since killed auxes are forced false;
-        // guard against solver bugs by falling back to per-candidate mode.
-        throw PdatError("induction: aggregate model kills nothing");
-      }
-      st.cex_kills += killed_here;
-      kills += killed_here;
-      continue;
-    }
-    // Budget exhausted on the aggregate query: fall back to per-candidate
-    // queries; inconclusive candidates are dropped (conservative).
-    for (std::size_t i = 0; i < cands.size(); ++i) {
-      if (!alive[i]) continue;
-      if (dl.expired()) return kills;
-      ++st.sat_calls;
-      const SolveResult ri = s.solve({aux[i]}, opt.conflict_budget / 16 + 1);
-      if (ri == SolveResult::Unsat) continue;
-      if (ri == SolveResult::Sat) {
-        for (std::size_t j = 0; j < cands.size(); ++j) {
-          if (!alive[j]) continue;
-          if (violated_in_model(s, cands[j], check_frame)) {
-            alive[j] = false;
-            s.add_clause(~aux[j]);
-            ++kills;
-            ++st.cex_kills;
+      if (env_ok) {
+        for (std::uint32_t i = 0; i < cands.size(); ++i) {
+          if (!alive[i] || job_killed[i]) continue;
+          const GateProperty& p = cands[i];
+          bool viol = false;
+          switch (p.kind) {
+            case PropKind::Const0: viol = sim.value(p.target) != 0; break;
+            case PropKind::Const1: viol = ~sim.value(p.target) != 0; break;
+            case PropKind::Implies: viol = (sim.value(p.a) & ~sim.value(p.b)) != 0; break;
+            case PropKind::Equiv: viol = (sim.value(p.a) ^ sim.value(p.b)) != 0; break;
+          }
+          if (viol) {
+            job_killed[i] = 1;
+            out.kills.push_back(i);
           }
         }
-      } else {
-        alive[i] = false;
-        s.add_clause(~aux[i]);
-        ++kills;
-        ++st.budget_kills;
+      }
+      sim.latch();
+    }
+  }
+
+  /// Merges one round's job results into the alive set. Model/replay kills
+  /// first (a union over jobs, order-independent), then conservative drops
+  /// for jobs the supervisor gave up on. Returns the number of candidates
+  /// removed; sets timed_out via the reports when the global deadline
+  /// aborted any job.
+  std::size_t merge_round(const std::vector<std::vector<std::uint32_t>>& batches,
+                          std::vector<std::vector<std::uint32_t>>& pending,
+                          const std::vector<JobOutcome>& outcomes,
+                          const std::vector<runtime::JobReport>& reports,
+                          const runtime::SupervisorStats& sup_stats) {
+    std::size_t removed = 0;
+    for (const JobOutcome& out : outcomes) st.sat_calls += out.sat_calls;
+    for (const JobOutcome& out : outcomes) {
+      for (std::uint32_t i : out.kills) {
+        if (alive[i]) {
+          alive[i] = false;
+          ++st.cex_kills;
+          ++removed;
+        }
       }
     }
-    return kills;
+    for (std::size_t j = 0; j < reports.size(); ++j) {
+      if (reports[j].aborted) st.timed_out = true;
+      if (reports[j].crashed && !reports[j].last_error.empty()) {
+        log_warn() << "induction: job " << j << " attempt contained: "
+                   << reports[j].last_error;
+      }
+      if (!reports[j].dropped) continue;
+      // Conservative drop: whatever the job could not resolve is not proved.
+      const auto& unresolved = pending[j].empty() ? batches[j] : pending[j];
+      for (std::uint32_t i : unresolved) {
+        if (alive[i]) {
+          alive[i] = false;
+          ++st.budget_kills;
+          ++removed;
+        }
+      }
+    }
+    st.job_retries += sup_stats.retries;
+    st.job_drops += sup_stats.drops;
+    st.job_crashes += sup_stats.crashes;
+    return removed;
   }
-}
+
+  /// Base case: every alive candidate must hold in frames 0..k-1 from the
+  /// power-on state. One supervised job per batch; verdicts are independent
+  /// across candidates, so a single round suffices.
+  void run_base_phase() {
+    const int k = opt.k < 1 ? 1 : opt.k;
+    // Shared template: k frames from reset with the environment assumed.
+    sat::Solver tmpl;
+    std::vector<Frame> frames;
+    for (int j = 0; j < k; ++j) {
+      frames.push_back(enc.encode(tmpl));
+      if (j == 0) {
+        enc.fix_initial(tmpl, frames[0]);
+      } else {
+        enc.link(tmpl, frames[static_cast<std::size_t>(j - 1)],
+                 frames[static_cast<std::size_t>(j)]);
+      }
+      for (NetId a : env.assumes) tmpl.add_clause(frames.back().lit(a, true));
+    }
+
+    auto batches = shard_alive(alive, opt.batch_size);
+    std::vector<std::vector<std::uint32_t>> pending = batches;
+    std::vector<JobOutcome> outcomes(batches.size());
+
+    runtime::Supervisor sup(supervisor_options());
+    const auto job = [&](std::size_t jid, int /*attempt*/, const runtime::JobBudget& budget) {
+      auto& members = pending[jid];
+      JobOutcome& out = outcomes[jid];
+      sat::Solver s = tmpl;  // private copy; index-based state, so this is a deep copy
+      arm_solver(s, budget);
+      sat::SolveLimits lim;
+      lim.conflict_budget = budget.conflicts;
+      lim.memory_bytes = budget.memory_bytes;
+      lim.interrupt = &sup.cancelled();
+
+      // Per-member "violated in some frame" aux, plus the aggregate trigger.
+      std::vector<Lit> member_any(members.size());
+      std::vector<std::vector<Lit>> member_aux(members.size());
+      const Lit trigger = sat::mk_lit(s.new_var());
+      std::vector<Lit> any_clause{~trigger};
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        std::vector<Lit> ors;
+        member_aux[m].reserve(frames.size());
+        for (const Frame& f : frames) {
+          member_aux[m].push_back(make_violation_aux(s, cands[members[m]], f));
+        }
+        member_any[m] = sat::mk_lit(s.new_var());
+        ors.push_back(~member_any[m]);
+        ors.insert(ors.end(), member_aux[m].begin(), member_aux[m].end());
+        s.add_clause(ors);
+        any_clause.push_back(member_any[m]);
+      }
+      s.add_clause(any_clause);
+
+      const auto retire = [&](std::size_t m) {
+        // Falsified or resolved: exclude from future aggregate models.
+        for (Lit ax : member_aux[m]) s.add_clause(~ax);
+        s.add_clause(~member_any[m]);
+      };
+      std::vector<char> job_killed(cands.size(), 0);
+      const auto kill_from_model = [&]() {
+        bool any_member = false;
+        for (std::uint32_t i = 0; i < cands.size(); ++i) {
+          if (!alive[i] || job_killed[i]) continue;
+          for (const Frame& f : frames) {
+            if (violated_in_model(s, cands[i], f)) {
+              job_killed[i] = 1;
+              out.kills.push_back(i);
+              break;
+            }
+          }
+        }
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          if (member_aux[m].empty()) continue;  // already retired
+          bool viol = false;
+          for (const Frame& f : frames) viol = viol || violated_in_model(s, cands[members[m]], f);
+          if (viol) {
+            retire(m);
+            member_aux[m].clear();
+            any_member = true;
+          }
+        }
+        return any_member;
+      };
+
+      for (;;) {
+        ++out.sat_calls;
+        const SolveResult r = s.solve({trigger}, lim);
+        if (r == SolveResult::Unsat) {
+          members.clear();
+          return runtime::JobStatus::Done;
+        }
+        if (r == SolveResult::Sat) {
+          if (!kill_from_model()) {
+            throw PdatError("induction base: aggregate model kills no batch member");
+          }
+          continue;
+        }
+        // Budget exhausted on the aggregate query: per-member sweep with a
+        // slice of the budget; unresolved members stay pending for retry.
+        sat::SolveLimits small = lim;
+        if (small.conflict_budget >= 0) small.conflict_budget = small.conflict_budget / 16 + 1;
+        std::vector<std::uint32_t> unresolved;
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          if (member_aux[m].empty()) continue;  // already retired
+          ++out.sat_calls;
+          const SolveResult rm = s.solve({member_any[m]}, small);
+          if (rm == SolveResult::Unsat) {
+            retire(m);
+            member_aux[m].clear();
+          } else if (rm == SolveResult::Sat) {
+            kill_from_model();
+            if (!member_aux[m].empty()) {
+              // The solver found a violating model the extraction missed:
+              // the member IS falsifiable, so kill it explicitly (retiring
+              // without a kill would let it survive the base case unsoundly).
+              out.kills.push_back(members[m]);
+              retire(m);
+              member_aux[m].clear();
+            }
+          } else {
+            unresolved.push_back(members[m]);
+          }
+        }
+        members = std::move(unresolved);
+        return members.empty() ? runtime::JobStatus::Done : runtime::JobStatus::Retry;
+      }
+    };
+
+    const auto reports = sup.run(batches.size(), job);
+    // Note: batch members surviving in `pending` after a completed job are
+    // exactly the ones never falsified — nothing to do for them here. The
+    // model kills recorded in the outcomes remove the rest.
+    merge_round(batches, pending, outcomes, reports, sup.stats());
+  }
+
+  /// One step round: asserts the current alive set at frames 0..k-1 and
+  /// dispatches batch jobs checking for violations at frame k. Returns the
+  /// number of candidates removed (0 = the alive set is the fixpoint).
+  std::size_t run_step_round(int round) {
+    const int k = opt.k < 1 ? 1 : opt.k;
+    sat::Solver tmpl;
+    std::vector<Frame> frames;
+    for (int j = 0; j <= k; ++j) {
+      frames.push_back(enc.encode(tmpl));
+      if (j > 0) {
+        enc.link(tmpl, frames[static_cast<std::size_t>(j - 1)],
+                 frames[static_cast<std::size_t>(j)]);
+      }
+      for (NetId a : env.assumes) tmpl.add_clause(frames.back().lit(a, true));
+    }
+    // Round hypothesis: every alive candidate holds at frames 0..k-1. Hard
+    // clauses — kills are deferred to the round barrier (Jacobi iteration),
+    // which keeps every job a pure function of (round template, batch).
+    for (std::uint32_t i = 0; i < cands.size(); ++i) {
+      if (!alive[i]) continue;
+      for (int j = 0; j < k; ++j) {
+        assert_property(tmpl, cands[i], frames[static_cast<std::size_t>(j)]);
+      }
+    }
+    const Frame& fk = frames.back();
+
+    auto batches = shard_alive(alive, opt.batch_size);
+    std::vector<std::vector<std::uint32_t>> pending = batches;
+    std::vector<JobOutcome> outcomes(batches.size());
+
+    runtime::Supervisor sup(supervisor_options());
+    const auto job = [&](std::size_t jid, int /*attempt*/, const runtime::JobBudget& budget) {
+      auto& members = pending[jid];
+      JobOutcome& out = outcomes[jid];
+      sat::Solver s = tmpl;
+      arm_solver(s, budget);
+      sat::SolveLimits lim;
+      lim.conflict_budget = budget.conflicts;
+      lim.memory_bytes = budget.memory_bytes;
+      lim.interrupt = &sup.cancelled();
+
+      std::vector<Lit> aux(members.size());
+      const Lit trigger = sat::mk_lit(s.new_var());
+      std::vector<Lit> any_clause{~trigger};
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        aux[m] = make_violation_aux(s, cands[members[m]], fk);
+        any_clause.push_back(aux[m]);
+      }
+      s.add_clause(any_clause);
+
+      // Job-private replay state, constructed lazily on the first model.
+      std::unique_ptr<BitSim> sim;
+      std::unique_ptr<Environment> local_env;
+      Rng rng(opt.seed ^ fnv_mix(0x6a09e667f3bcc909ULL,
+                                 (static_cast<std::uint64_t>(round + 2) << 20) +
+                                     static_cast<std::uint64_t>(jid)));
+
+      // Members this job has already killed (by model or replay) are retired
+      // from the aggregate query so each model makes real progress — without
+      // this, replay kills would keep re-satisfying the trigger.
+      std::vector<char> job_killed(cands.size(), 0);
+      const auto record_kill = [&](std::uint32_t i) {
+        if (job_killed[i]) return;
+        job_killed[i] = 1;
+        out.kills.push_back(i);
+      };
+      const auto retire_killed_members = [&]() {
+        bool any = false;
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          if (aux[m].x >= 0 && job_killed[members[m]]) {
+            s.add_clause(~aux[m]);
+            aux[m] = Lit();
+            any = true;
+          }
+        }
+        return any;
+      };
+
+      const auto kill_from_model = [&]() {
+        for (std::uint32_t i = 0; i < cands.size(); ++i) {
+          if (alive[i] && violated_in_model(s, cands[i], fk)) record_kill(i);
+        }
+        if (opt.cex_sim_cycles > 0) {
+          if (!sim) {
+            sim = std::make_unique<BitSim>(nl);
+            local_env = std::make_unique<Environment>(clone_environment(env));
+          }
+          cex_replay(s, fk, *sim, *local_env, rng, job_killed, out);
+        }
+        return retire_killed_members();
+      };
+
+      for (;;) {
+        ++out.sat_calls;
+        const SolveResult r = s.solve({trigger}, lim);
+        if (r == SolveResult::Unsat) {
+          members.clear();
+          return runtime::JobStatus::Done;
+        }
+        if (r == SolveResult::Sat) {
+          if (!kill_from_model()) {
+            throw PdatError("induction: aggregate model kills no batch member");
+          }
+          continue;
+        }
+        sat::SolveLimits small = lim;
+        if (small.conflict_budget >= 0) small.conflict_budget = small.conflict_budget / 16 + 1;
+        std::vector<std::uint32_t> unresolved;
+        std::vector<Lit> unresolved_aux;
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          if (aux[m].x < 0) continue;
+          ++out.sat_calls;
+          const SolveResult rm = s.solve({aux[m]}, small);
+          if (rm == SolveResult::Unsat) {
+            s.add_clause(~aux[m]);
+            aux[m] = Lit();
+          } else if (rm == SolveResult::Sat) {
+            kill_from_model();
+            if (aux[m].x >= 0) {
+              s.add_clause(~aux[m]);
+              aux[m] = Lit();
+              out.kills.push_back(members[m]);
+            }
+          } else {
+            unresolved.push_back(members[m]);
+            unresolved_aux.push_back(aux[m]);
+          }
+        }
+        members = std::move(unresolved);
+        return members.empty() ? runtime::JobStatus::Done : runtime::JobStatus::Retry;
+      }
+    };
+
+    const auto reports = sup.run(batches.size(), job);
+    return merge_round(batches, pending, outcomes, reports, sup.stats());
+  }
+};
 
 }  // namespace
 
@@ -183,8 +583,6 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
                                            const InductionOptions& opt, InductionStats* stats) {
   InductionStats st;
   st.initial = candidates.size();
-  FrameEncoder enc(nl);
-  std::vector<bool> alive(candidates.size(), true);
 
   Deadline dl;
   dl.st = &st;
@@ -194,189 +592,110 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
                                std::chrono::duration<double>(opt.deadline_seconds));
   }
 
-  // --- base case: frames 0..k-1 from the power-on state --------------------
-  const int k = opt.k < 1 ? 1 : opt.k;
-  {
-    sat::Solver s;
-    if (dl.armed) s.set_deadline(dl.at);
-    std::vector<Frame> frames;
-    for (int j = 0; j < k; ++j) {
-      frames.push_back(enc.encode(s));
-      if (j == 0) {
-        enc.fix_initial(s, frames[0]);
-      } else {
-        enc.link(s, frames[static_cast<std::size_t>(j - 1)], frames[static_cast<std::size_t>(j)]);
-      }
-      for (NetId a : env.assumes) s.add_clause(frames.back().lit(a, true));
+  Engine eng(nl, env, candidates, opt, st, dl);
+
+  const runtime::ProofJournalHeader header{proof_fingerprint(nl, candidates, opt),
+                                           candidates.size()};
+
+  // --- resume ---------------------------------------------------------------
+  bool base_done = false;
+  bool finished = false;
+  int next_round = 0;
+  if (!opt.resume_from.empty()) {
+    const auto rs = runtime::load_proof_resume(opt.resume_from, header);
+    if (rs.has_value()) {
+      eng.alive = rs->last.alive;
+      st.sat_calls = rs->last.counters.sat_calls;
+      st.cex_kills = rs->last.counters.cex_kills;
+      st.budget_kills = rs->last.counters.budget_kills;
+      st.job_retries = rs->last.counters.job_retries;
+      st.job_drops = rs->last.counters.job_drops;
+      st.job_crashes = rs->last.counters.job_crashes;
+      st.rounds = static_cast<int>(rs->last.counters.rounds);
+      st.after_base = rs->last.counters.after_base;
+      st.resumed_from_round = rs->last.round;
+      base_done = true;
+      next_round = rs->last.round + 1;  // kBaseRound(-1) resumes at round 0
+      finished = rs->finished;
+      log_info() << "induction: resumed from '" << opt.resume_from << "' at round "
+                 << rs->last.round << " (" << popcount(eng.alive) << "/" << st.initial
+                 << " candidates alive" << (finished ? ", already final" : "") << ")";
     }
-    for (int j = 0; j < k && !st.timed_out; ++j) {
-      eliminate(s, frames[static_cast<std::size_t>(j)], candidates, alive, opt, st, dl);
+    // A journal with a valid matching header but no round records restarts
+    // the proof from scratch (nothing usable was checkpointed).
+  }
+
+  // --- journal writer -------------------------------------------------------
+  std::unique_ptr<runtime::JournalWriter> journal;
+  if (!opt.journal_path.empty()) {
+    if (!opt.resume_from.empty() && opt.resume_from == opt.journal_path) {
+      journal = std::make_unique<runtime::JournalWriter>(
+          runtime::JournalWriter::append_after_valid_prefix(opt.journal_path));
+    } else {
+      journal = std::make_unique<runtime::JournalWriter>(
+          runtime::JournalWriter::create(opt.journal_path));
+      journal->append(runtime::kProofRecHeader, runtime::encode_proof_header(header));
+      if (base_done) {
+        // Re-targeted journal: seed it with the resumed state (final when the
+        // source journal was final) so it is self-contained for a next resume.
+        journal->append(finished ? runtime::kProofRecFinal : runtime::kProofRecRound,
+                        runtime::encode_proof_round(checkpoint_record(st, next_round - 1, eng.alive)));
+      }
     }
   }
-  if (st.timed_out) {
-    log_warn() << "induction: deadline expired during base case; proving nothing";
-    if (stats != nullptr) *stats = st;
-    return {};
+
+  const auto checkpoint = [&](std::uint32_t type, int completed_round) {
+    if (!journal) return;
+    journal->append(type, runtime::encode_proof_round(checkpoint_record(st, completed_round, eng.alive)));
+  };
+
+  // --- base case ------------------------------------------------------------
+  if (!finished && !base_done) {
+    if (!dl.expired()) eng.run_base_phase();
+    if (st.timed_out) {
+      log_warn() << "induction: deadline expired during base case; proving nothing";
+      if (stats != nullptr) *stats = st;
+      return {};
+    }
+    st.after_base = popcount(eng.alive);
+    log_info() << "induction: base case kept " << st.after_base << "/" << st.initial;
+    checkpoint(runtime::kProofRecRound, runtime::kBaseRound);
   }
-  st.after_base = 0;
-  for (bool a : alive)
-    if (a) ++st.after_base;
-  log_info() << "induction: base case kept " << st.after_base << "/" << st.initial;
 
-  // --- inductive step fixpoint (van Eijk, single incremental solver) -------
-  // All alive candidates are asserted at frame 0 through activation
-  // literals; one aggregated "some alive candidate violated at frame 1"
-  // query is solved repeatedly. Each model kills every candidate it
-  // falsifies (their assertions retract immediately by dropping the
-  // activation assumption). UNSAT certifies that the surviving set is
-  // mutually 1-inductive. Termination: every SAT answer kills at least one
-  // candidate.
-  {
-    sat::Solver s;
-    if (dl.armed) s.set_deadline(dl.at);
-    std::vector<Frame> frames;
-    for (int j = 0; j <= k; ++j) {
-      frames.push_back(enc.encode(s));
-      if (j > 0) {
-        enc.link(s, frames[static_cast<std::size_t>(j - 1)], frames[static_cast<std::size_t>(j)]);
-      }
-      for (NetId a : env.assumes) s.add_clause(frames.back().lit(a, true));
-    }
-    const Frame& fk = frames.back();
-
-    // Counterexample-replay accelerator state.
-    BitSim sim(nl);
-    Rng rng(opt.seed);
-    std::vector<Lit> act(candidates.size());
-    std::vector<Lit> aux(candidates.size());
-    const Lit trigger = sat::mk_lit(s.new_var());
-    std::vector<Lit> any_clause{~trigger};
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (!alive[i]) continue;
-      act[i] = sat::mk_lit(s.new_var());
-      for (int j = 0; j < k; ++j) {
-        assert_property_with_act(s, candidates[i], frames[static_cast<std::size_t>(j)], act[i]);
-      }
-      aux[i] = make_violation_aux(s, candidates[i], fk);
-      any_clause.push_back(aux[i]);
-    }
-    s.add_clause(any_clause);
-
-    auto assumptions = [&]() {
-      std::vector<Lit> v{trigger};
-      for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (alive[i]) v.push_back(act[i]);
-      }
-      return v;
-    };
-    auto kill = [&](std::size_t i) {
-      alive[i] = false;
-      s.add_clause(~aux[i]);
-    };
-    auto kill_from_model = [&]() {
-      std::size_t killed = 0;
-      for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (alive[i] && violated_in_model(s, candidates[i], fk)) {
-          kill(i);
-          ++killed;
-        }
-      }
-      return killed;
-    };
-    // Replays the model's frame-1 state forward under the environment
-    // stimulus, killing every candidate falsified along the way. States
-    // reached this way satisfy weaker preconditions than the inductive
-    // hypothesis requires, so killing from them is conservative (it can
-    // only reduce the proved set, never make it unsound).
-    auto cex_replay = [&]() {
-      if (opt.cex_sim_cycles <= 0) return std::size_t{0};
-      for (CellId flop : sim.levels().flops) {
-        const NetId q = nl.cell(flop).out;
-        sim.set_flop_state(flop, s.model_value(fk.net_var[q]) ? ~0ULL : 0);
-      }
-      std::size_t killed = 0;
-      for (int cyc = 0; cyc < opt.cex_sim_cycles; ++cyc) {
-        drive_inputs(nl, env, sim, rng, opt.sim_free_nets);
-        sim.eval();
-        bool env_ok = true;
-        for (NetId a : env.assumes) {
-          if (sim.value(a) != ~0ULL) {
-            env_ok = false;
-            break;
-          }
-        }
-        if (env_ok) {
-          for (std::size_t i = 0; i < candidates.size(); ++i) {
-            if (!alive[i]) continue;
-            const GateProperty& p = candidates[i];
-            bool viol = false;
-            switch (p.kind) {
-              case PropKind::Const0: viol = sim.value(p.target) != 0; break;
-              case PropKind::Const1: viol = ~sim.value(p.target) != 0; break;
-              case PropKind::Implies: viol = (sim.value(p.a) & ~sim.value(p.b)) != 0; break;
-              case PropKind::Equiv: viol = (sim.value(p.a) ^ sim.value(p.b)) != 0; break;
-            }
-            if (viol) {
-              kill(i);
-              ++killed;
-            }
-          }
-        }
-        sim.latch();
-      }
-      return killed;
-    };
-
-    bool proven_fixpoint = false;
-    while (!proven_fixpoint) {
+  // --- inductive step fixpoint ---------------------------------------------
+  if (!finished) {
+    for (int round = next_round;; ++round) {
       if (dl.expired()) break;
-      ++st.rounds;
-      ++st.sat_calls;
-      const SolveResult r = s.solve(assumptions(), opt.conflict_budget);
-      if (r == SolveResult::Unsat) {
-        proven_fixpoint = true;
-      } else if (r == SolveResult::Sat) {
-        std::size_t killed = kill_from_model();
-        if (killed == 0) throw PdatError("induction: model kills nothing");
-        killed += cex_replay();
-        st.cex_kills += killed;
-      } else {
-        // Aggregate budget exhausted: per-candidate sweep. Inconclusive
-        // candidates are dropped (conservative); if the sweep completes
-        // without any kill, the alive set is proved.
-        std::size_t killed = 0;
-        for (std::size_t i = 0; i < candidates.size(); ++i) {
-          if (!alive[i]) continue;
-          if (dl.expired()) break;
-          std::vector<Lit> as = assumptions();
-          as[0] = aux[i];  // replace trigger with this candidate's violation
-          ++st.sat_calls;
-          const SolveResult ri = s.solve(as, opt.conflict_budget / 16 + 1);
-          if (ri == SolveResult::Unsat) continue;
-          if (ri == SolveResult::Sat) {
-            killed += kill_from_model();
-          } else {
-            kill(i);
-            ++killed;
-            ++st.budget_kills;
-          }
-        }
-        if (killed == 0 && !st.timed_out) proven_fixpoint = true;
+      if (popcount(eng.alive) == 0) break;
+      const std::size_t removed = eng.run_step_round(round);
+      if (st.timed_out || dl.expired()) break;
+      st.rounds = round + 1;
+      if (removed == 0) {
+        checkpoint(runtime::kProofRecFinal, round);
+        break;
       }
+      checkpoint(runtime::kProofRecRound, round);
     }
   }
 
   // A deadline abort leaves the survivor set unproved: return nothing rather
-  // than an unsound partial result.
+  // than an unsound partial result. Completed rounds remain in the journal
+  // for a later resume.
   if (st.timed_out) {
-    log_warn() << "induction: deadline expired before the fixpoint closed; proving nothing";
+    log_warn() << "induction: deadline expired before the fixpoint closed; proving nothing"
+               << (journal ? " (journal retains completed rounds for resume)" : "");
     if (stats != nullptr) *stats = st;
     return {};
+  }
+  if (popcount(eng.alive) == 0 && !finished) {
+    // Everything died before a no-kill round could certify a fixpoint; the
+    // empty set is trivially inductive.
+    checkpoint(runtime::kProofRecFinal, st.rounds - 1);
   }
 
   std::vector<GateProperty> proven;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (alive[i]) proven.push_back(candidates[i]);
+    if (eng.alive[i]) proven.push_back(candidates[i]);
   }
   st.proven = proven.size();
   if (stats != nullptr) *stats = st;

@@ -1,4 +1,5 @@
-// Temporal-induction invariant prover (the Questa Formal substitute).
+// Temporal-induction invariant prover (the Questa Formal substitute), built
+// on the supervised proof-job runtime (src/runtime/).
 //
 // Given a set of candidate gate properties, proves the maximal mutually
 // 1-inductive subset that also holds in the initial state, under the
@@ -9,16 +10,31 @@
 //   step : assuming all surviving candidates and the environment at frame t,
 //          no surviving candidate can be violated at frame t+1.
 //
-// The fixpoint runs van-Eijk style: all candidates are asserted at frame 0,
-// a single aggregated "some candidate violated at frame 1" query is solved
-// repeatedly; each model kills every candidate it falsifies; when the
-// aggregate query is UNSAT the surviving set is proved. Inconclusive SAT
-// calls (conflict budget) drop candidates, never proofs — matching the
-// paper's observation (§VII-C) that inconclusive analyses merely reduce
-// optimization quality.
+// The fixpoint runs round-synchronously (Jacobi-style van Eijk): each round
+// asserts the current alive set at frames 0..k-1 in a shared CNF template,
+// shards the alive candidates into fixed-size batches, and dispatches one
+// supervised proof job per batch. A job copies the template into a private
+// solver, runs an aggregated "some batch member violated at frame k" loop,
+// and reports which candidates its counterexample models (and their
+// simulation replays) falsified. Verdicts are merged by candidate index —
+// a union, so the result is independent of worker count and scheduling.
+// Jobs that blow their conflict/wall/memory budget or throw are retried by
+// the supervisor with exponentially escalated budgets; after bounded
+// attempts their remaining candidates are dropped (conservative: a dropped
+// candidate is never kept, matching the paper's §VII-C observation that
+// inconclusive analyses merely reduce optimization quality). A round with
+// no kills and no drops certifies the surviving set mutually k-inductive.
+//
+// Checkpoint/resume: with `journal_path` set, the engine appends a
+// checksummed record after the base case and after every completed round;
+// `resume_from` replays such a journal (tolerating a torn tail from a
+// crash mid-write) and continues from the last complete round. Because a
+// round is a deterministic function of the alive set, a resumed run is
+// bit-identical to an uninterrupted one.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "formal/environment.h"
@@ -28,13 +44,13 @@
 namespace pdat {
 
 struct InductionOptions {
-  std::int64_t conflict_budget = 200000;  // per aggregate SAT call
+  std::int64_t conflict_budget = 200000;  // per aggregate SAT call (first attempt)
   /// Temporal-induction depth: candidates are assumed at frames 0..k-1 and
   /// checked at frame k (base case covers frames 0..k-1 from reset). k = 1
   /// is the classic van Eijk fixpoint; higher k proves invariants whose
   /// support spans multiple cycles at the cost of a deeper unrolling.
   int k = 1;
-  /// Counterexample replay: after each SAT model, the frame-1 state is
+  /// Counterexample replay: after each SAT model, the frame-k state is
   /// loaded into the bit-parallel simulator and run for this many cycles
   /// under the environment stimulus; every candidate falsified on the way
   /// is killed without further SAT calls. 0 disables the accelerator.
@@ -45,8 +61,43 @@ struct InductionOptions {
   std::uint64_t seed = 0xCE7;
   /// Wall-clock deadline for the whole prove_invariants call; 0 = unlimited.
   /// On expiry the fixpoint aborts conservatively: nothing is proved
-  /// (stats->timed_out is set), never a partially-checked survivor set.
+  /// (stats->timed_out is set), never a partially-checked survivor set —
+  /// but completed rounds stay in the journal, so a later resume_from run
+  /// continues instead of starting over.
   double deadline_seconds = 0;
+
+  // --- supervised runtime ---------------------------------------------------
+  /// Worker threads for proof jobs. Results are bit-identical for any value
+  /// (batching is fixed by batch_size, verdicts merge by candidate index).
+  int threads = 1;
+  /// Candidates per proof job. Smaller batches isolate pathological queries
+  /// better and parallelize wider; larger batches amortize the CNF template
+  /// copy and the per-job certification solve. Does NOT affect which
+  /// properties get proved... except through budget exhaustion, which is why
+  /// it is part of the resume fingerprint.
+  int batch_size = 2048;
+  /// Attempts per job before its unresolved candidates are conservatively
+  /// dropped; each retry multiplies the budgets by budget_escalation.
+  int max_job_attempts = 3;
+  double budget_escalation = 4.0;
+  /// Optional per-job wall-clock / solver-memory budgets (0 = off). The
+  /// wall-clock budget is not deterministic across machines; leave it off
+  /// when bit-reproducibility across hosts matters (conflict and memory
+  /// budgets are deterministic).
+  double job_wall_seconds = 0;
+  std::size_t job_memory_bytes = 0;
+
+  // --- checkpoint/resume ----------------------------------------------------
+  /// When non-empty, append a checkpoint record here after the base case and
+  /// after every fixpoint round (write-ahead journal, crash-tolerant).
+  std::string journal_path;
+  /// When non-empty, replay this journal and continue from the last complete
+  /// round. Throws PdatError when the journal does not match the proof
+  /// problem (fingerprint), is empty, or has no header — resuming must never
+  /// silently restart or import an alien survivor set. May equal
+  /// journal_path, in which case new records are appended after the valid
+  /// prefix (a torn tail from the crash is truncated).
+  std::string resume_from;
 };
 
 struct InductionStats {
@@ -60,9 +111,16 @@ struct InductionStats {
   /// The deadline expired before the fixpoint closed; the proved set is
   /// empty (aborting mid-fixpoint must not ship unproved survivors).
   bool timed_out = false;
+  // Supervised-runtime accounting.
+  std::size_t job_retries = 0;   // re-dispatches with escalated budgets
+  std::size_t job_drops = 0;     // jobs whose candidates were dropped
+  std::size_t job_crashes = 0;   // attempts contained after throwing
+  /// Resume provenance: -2 = fresh run, kBaseRound(-1) = resumed after the
+  /// base case, r >= 0 = resumed after step round r.
+  int resumed_from_round = -2;
 };
 
-/// Returns the proved subset of `candidates`.
+/// Returns the proved subset of `candidates` (input order preserved).
 std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment& env,
                                            std::vector<GateProperty> candidates,
                                            const InductionOptions& opt = {},

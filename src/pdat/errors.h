@@ -7,6 +7,7 @@
 // strict) and validation vetoes.
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 #include "base/types.h"
@@ -39,15 +40,34 @@ inline const char* stage_name(PdatStage s) {
   return "?";
 }
 
-/// A pipeline stage failed. `what()` is prefixed with the stage name.
+/// A pipeline stage failed. `what()` carries the stage name and, when the
+/// caller supplies it, the pipeline time at which the stage failed — so a
+/// degradation is diagnosable from the log line alone.
 class StageError : public PdatError {
  public:
-  StageError(PdatStage stage, const std::string& what)
-      : PdatError(std::string("PDAT[") + stage_name(stage) + "]: " + what), stage_(stage) {}
+  StageError(PdatStage stage, const std::string& what, double elapsed_seconds = -1)
+      : PdatError(format(stage, what, elapsed_seconds)),
+        stage_(stage),
+        elapsed_(elapsed_seconds) {}
   PdatStage stage() const { return stage_; }
+  /// Pipeline wall clock when the stage failed; < 0 when not recorded.
+  double elapsed_seconds() const { return elapsed_; }
 
  private:
+  static std::string format(PdatStage stage, const std::string& what, double elapsed_seconds) {
+    std::string msg = std::string("PDAT[") + stage_name(stage);
+    if (elapsed_seconds >= 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " @%.2fs", elapsed_seconds);
+      msg += buf;
+    }
+    msg += "]: ";
+    msg += what;
+    return msg;
+  }
+
   PdatStage stage_;
+  double elapsed_ = -1;
 };
 
 /// The environment restriction is unusable (vacuous / malformed).
@@ -61,15 +81,14 @@ class EnvironmentError : public StageError {
 class StageTimeoutError : public StageError {
  public:
   StageTimeoutError(PdatStage stage, double elapsed_seconds, double deadline_seconds)
-      : StageError(stage, "deadline exceeded (" + std::to_string(elapsed_seconds) + "s > " +
-                              std::to_string(deadline_seconds) + "s)"),
-        elapsed_(elapsed_seconds),
+      : StageError(stage,
+                   "deadline exceeded (" + std::to_string(elapsed_seconds) + "s > " +
+                       std::to_string(deadline_seconds) + "s)",
+                   elapsed_seconds),
         deadline_(deadline_seconds) {}
-  double elapsed_seconds() const { return elapsed_; }
   double deadline_seconds() const { return deadline_; }
 
  private:
-  double elapsed_;
   double deadline_;
 };
 

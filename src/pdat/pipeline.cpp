@@ -54,9 +54,11 @@ PdatResult run_pdat(const Netlist& design,
     res.stage_seconds[idx(st)] = took;
     return took;
   };
-  // Degrades gracefully (note + warn) or throws under `strict`.
+  // Degrades gracefully (note + warn) or throws under `strict`. The pipeline
+  // clock at the failure point rides along so a degradation is placeable in
+  // time from the log / exception text alone.
   const auto degrade = [&](PdatStage st, const std::string& why) {
-    if (opt.strict) throw StageError(st, why);
+    if (opt.strict) throw StageError(st, why, clk.elapsed());
     res.degraded = true;
     res.degradations.push_back(std::string(stage_name(st)) + ": " + why);
     log_warn() << "PDAT: stage '" << stage_name(st) << "' degraded: " << why;
@@ -82,13 +84,17 @@ PdatResult run_pdat(const Netlist& design,
   } catch (const StageError&) {
     throw;
   } catch (const PdatError& e) {
-    throw StageError(PdatStage::Restrict, e.what());
+    throw StageError(PdatStage::Restrict, e.what(), clk.elapsed());
   }
   end_stage(PdatStage::Restrict);
 
   begin_stage();
-  if (opt.check_env_satisfiable && !env_satisfiable(analysis, restr.env, opt.env_check_depth)) {
-    throw EnvironmentError("environment restriction is unsatisfiable (vacuous)");
+  if (opt.check_env_satisfiable) {
+    const double env_budget = clk.stage_budget();
+    if (!env_satisfiable(analysis, restr.env, opt.env_check_depth,
+                         std::isfinite(env_budget) ? env_budget : 0)) {
+      throw EnvironmentError("environment restriction is unsatisfiable (vacuous)");
+    }
   }
   end_stage(PdatStage::EnvCheck);
 
@@ -142,11 +148,13 @@ PdatResult run_pdat(const Netlist& design,
 
   begin_stage();
   std::vector<GateProperty> proven;
+  InductionOptions iopt = opt.induction;
+  if (iopt.journal_path.empty()) iopt.journal_path = opt.checkpoint_journal;
+  if (iopt.resume_from.empty()) iopt.resume_from = opt.resume_from;
   if (clk.total_expired()) {
     degrade(PdatStage::Induction, "total deadline exhausted before the proof stage; skipping");
   } else if (!survivors.empty()) {
     try {
-      InductionOptions iopt = opt.induction;
       for (NetId n : restr.cut_nets) iopt.sim_free_nets.push_back(n);
       const double budget = clk.stage_budget();
       if (std::isfinite(budget)) {
@@ -159,6 +167,12 @@ PdatResult run_pdat(const Netlist& design,
         degrade(PdatStage::Induction, "proof deadline expired; no invariants proved");
       }
     } catch (const PdatError& e) {
+      // A missing/corrupt/mismatched resume journal is a configuration
+      // error, like a malformed restriction: always thrown, never degraded,
+      // so a bad --resume cannot silently rerun from scratch.
+      if (!iopt.resume_from.empty() && std::string(e.what()).rfind("resume:", 0) == 0) {
+        throw StageError(PdatStage::Induction, e.what(), clk.elapsed());
+      }
       proven.clear();
       degrade(PdatStage::Induction, e.what());
     }
@@ -168,6 +182,19 @@ PdatResult run_pdat(const Netlist& design,
   if (res.induction.budget_kills > 0) {
     log_warn() << "PDAT: conflict budget dropped " << res.induction.budget_kills
                << " candidates (inconclusive, conservatively not proved)";
+  }
+  if (res.induction.job_drops > 0 || res.induction.job_crashes > 0) {
+    log_warn() << "PDAT: supervisor retried " << res.induction.job_retries
+               << " proof jobs, dropped " << res.induction.job_drops << ", contained "
+               << res.induction.job_crashes
+               << " crashes (dropped candidates conservatively not proved)";
+  }
+  if (res.induction.resumed_from_round >= -1) {
+    log_info() << "PDAT: proof resumed from journal (last complete round "
+               << (res.induction.resumed_from_round == -1
+                       ? std::string("base")
+                       : std::to_string(res.induction.resumed_from_round))
+               << ")";
   }
   res.proven = proven.size();
   res.proven_props = proven;

@@ -36,6 +36,17 @@ struct PdatOptions {
   /// the total budget is gone are skipped.
   double stage_deadline_seconds = 0;
   double total_deadline_seconds = 0;
+  /// Checkpoint/resume for the proof stage (see src/runtime/). When
+  /// `checkpoint_journal` is set, the induction fixpoint journals each
+  /// completed round to that path. When `resume_from` is set, the proof
+  /// replays that journal and continues from the last complete round; a
+  /// missing, corrupt, or mismatched journal is a configuration error
+  /// (thrown regardless of `strict` — a bad resume must never silently
+  /// rerun from scratch or, worse, resume an unrelated proof).
+  /// Both forward into `induction.journal_path` / `induction.resume_from`
+  /// unless those are already set explicitly.
+  std::string checkpoint_journal;
+  std::string resume_from;
   /// Stage failures throw StageError instead of degrading gracefully.
   bool strict = false;
   /// Post-transform validation (off by default; see src/validate/).

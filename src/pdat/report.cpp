@@ -22,6 +22,10 @@ VariantRow make_row(const std::string& name, const PdatResult& res, double secon
   r.proven = res.proven;
   r.budget_kills = res.induction.budget_kills;
   r.assume_violations = static_cast<std::size_t>(res.assume_violation_cycles);
+  r.job_retries = res.induction.job_retries;
+  r.job_drops = res.induction.job_drops;
+  r.job_crashes = res.induction.job_crashes;
+  r.resumed = res.induction.resumed_from_round >= -1;
   r.degraded = res.degraded;
   if (res.validation.miter != validate::Verdict::Skipped ||
       res.validation.lockstep != validate::Verdict::Skipped) {
@@ -64,13 +68,21 @@ void print_variant_table(std::ostream& os, std::vector<VariantRow> rows, const s
        << std::setw(13) << r.validation << std::setw(9) << std::setprecision(1) << r.seconds
        << "\n";
   }
-  // Proof-quality footnotes: anything that silently weakened a row's result.
+  // Proof-quality footnotes: anything that silently weakened a row's result,
+  // plus supervised-runtime provenance (retries / drops / crashes / resume).
   for (const auto& r : rows) {
-    if (r.budget_kills == 0 && r.assume_violations == 0 && !r.degraded) continue;
+    if (r.budget_kills == 0 && r.assume_violations == 0 && !r.degraded && r.job_retries == 0 &&
+        r.job_drops == 0 && r.job_crashes == 0 && !r.resumed) {
+      continue;
+    }
     os << " ! " << r.name << ":";
     if (r.budget_kills > 0) os << " " << r.budget_kills << " candidates lost to conflict budget;";
     if (r.assume_violations > 0)
       os << " " << r.assume_violations << " assume-violation cycles during filtering;";
+    if (r.job_retries > 0) os << " " << r.job_retries << " proof jobs retried;";
+    if (r.job_drops > 0) os << " " << r.job_drops << " proof jobs dropped after retries;";
+    if (r.job_crashes > 0) os << " " << r.job_crashes << " proof-job crashes contained;";
+    if (r.resumed) os << " resumed from checkpoint journal;";
     if (r.degraded) os << " pipeline degraded (see PdatResult::degradations);";
     os << "\n";
   }

@@ -24,6 +24,14 @@ struct VariantRow {
   // cycles where the stimulus violated assumes (both warn-worthy, footnoted).
   std::size_t budget_kills = 0;
   std::size_t assume_violations = 0;
+  // Supervised-runtime provenance: jobs the supervisor retried / dropped /
+  // contained a crash in, and whether this row's proof was resumed from a
+  // checkpoint journal (all footnoted — a resumed or retried row is still
+  // sound, but the reader should know the run was not a single clean pass).
+  std::size_t job_retries = 0;
+  std::size_t job_drops = 0;
+  std::size_t job_crashes = 0;
+  bool resumed = false;
   // Validation safety-net verdict ("-" for non-PDAT / unvalidated rows).
   std::string validation = "-";
   bool degraded = false;

@@ -1,0 +1,124 @@
+#include "runtime/checkpoint.h"
+
+#include "base/types.h"
+
+namespace pdat::runtime {
+
+namespace {
+
+void put_bitmap(std::string& out, const std::vector<bool>& bits) {
+  put_u64(out, bits.size());
+  unsigned char acc = 0;
+  int used = 0;
+  for (bool b : bits) {
+    acc = static_cast<unsigned char>(acc | ((b ? 1u : 0u) << used));
+    if (++used == 8) {
+      out.push_back(static_cast<char>(acc));
+      acc = 0;
+      used = 0;
+    }
+  }
+  if (used > 0) out.push_back(static_cast<char>(acc));
+}
+
+std::vector<bool> get_bitmap(const std::string& in, std::size_t& pos) {
+  const std::uint64_t n = get_u64(in, pos);
+  const std::size_t bytes = static_cast<std::size_t>((n + 7) / 8);
+  if (pos + bytes > in.size()) throw PdatError("checkpoint: truncated bitmap");
+  std::vector<bool> bits(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = ((static_cast<unsigned char>(in[pos + i / 8]) >> (i % 8)) & 1u) != 0;
+  }
+  pos += bytes;
+  return bits;
+}
+
+void put_counters(std::string& out, const ProofCounters& c) {
+  put_u64(out, c.sat_calls);
+  put_u64(out, c.cex_kills);
+  put_u64(out, c.budget_kills);
+  put_u64(out, c.job_retries);
+  put_u64(out, c.job_drops);
+  put_u64(out, c.job_crashes);
+  put_u64(out, c.rounds);
+  put_u64(out, c.after_base);
+}
+
+ProofCounters get_counters(const std::string& in, std::size_t& pos) {
+  ProofCounters c;
+  c.sat_calls = get_u64(in, pos);
+  c.cex_kills = get_u64(in, pos);
+  c.budget_kills = get_u64(in, pos);
+  c.job_retries = get_u64(in, pos);
+  c.job_drops = get_u64(in, pos);
+  c.job_crashes = get_u64(in, pos);
+  c.rounds = get_u64(in, pos);
+  c.after_base = get_u64(in, pos);
+  return c;
+}
+
+ProofRoundRecord decode_round(const std::string& payload) {
+  std::size_t pos = 0;
+  ProofRoundRecord r;
+  r.round = static_cast<std::int32_t>(get_u32(payload, pos));
+  r.alive = get_bitmap(payload, pos);
+  r.counters = get_counters(payload, pos);
+  return r;
+}
+
+}  // namespace
+
+std::string encode_proof_header(const ProofJournalHeader& h) {
+  std::string out;
+  put_u64(out, h.fingerprint);
+  put_u64(out, h.num_candidates);
+  return out;
+}
+
+std::string encode_proof_round(const ProofRoundRecord& r) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(r.round));
+  put_bitmap(out, r.alive);
+  put_counters(out, r.counters);
+  return out;
+}
+
+std::optional<ProofResumeState> load_proof_resume(const std::string& path,
+                                                  const ProofJournalHeader& expected) {
+  const auto records = read_journal(path);
+  if (!records.has_value()) {
+    throw PdatError("resume: journal '" + path + "' is missing or has a corrupt file header");
+  }
+  if (records->empty() || records->front().type != kProofRecHeader) {
+    throw PdatError("resume: journal '" + path + "' has no proof header record");
+  }
+  {
+    std::size_t pos = 0;
+    const std::string& p = records->front().payload;
+    ProofJournalHeader h;
+    h.fingerprint = get_u64(p, pos);
+    h.num_candidates = get_u64(p, pos);
+    if (h.fingerprint != expected.fingerprint || h.num_candidates != expected.num_candidates) {
+      throw PdatError("resume: journal '" + path +
+                      "' was written for a different proof problem (fingerprint mismatch)");
+    }
+  }
+
+  std::optional<ProofResumeState> state;
+  for (std::size_t i = 1; i < records->size(); ++i) {
+    const JournalRecord& rec = (*records)[i];
+    if (rec.type == kProofRecRound || rec.type == kProofRecFinal) {
+      ProofResumeState s;
+      s.last = decode_round(rec.payload);
+      if (s.last.alive.size() != expected.num_candidates) {
+        throw PdatError("resume: journal '" + path + "' round record has a wrong bitmap size");
+      }
+      s.finished = rec.type == kProofRecFinal;
+      state = std::move(s);
+    }
+    // Unknown record types are skipped (forward compatibility).
+  }
+  return state;
+}
+
+}  // namespace pdat::runtime

@@ -1,0 +1,137 @@
+#include "runtime/journal.h"
+
+#include <filesystem>
+
+#include "base/types.h"
+
+namespace pdat::runtime {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'D', 'A', 'T', 'J', 'R', 'N', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kFileHeaderBytes = sizeof(kMagic) + sizeof(std::uint32_t);
+constexpr std::size_t kRecordHeaderBytes = 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+// Sanity cap on a single record; anything larger is treated as corruption.
+constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+std::uint32_t load_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::uint64_t load_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t journal_checksum(std::uint32_t type, const std::string& payload) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](unsigned char c) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  };
+  for (int i = 0; i < 4; ++i) mix(static_cast<unsigned char>(type >> (8 * i)));
+  for (char c : payload) mix(static_cast<unsigned char>(c));
+  return h;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::string& in, std::size_t& pos) {
+  if (pos + 4 > in.size()) throw PdatError("journal: truncated payload field");
+  const std::uint32_t v = load_u32(in.data() + pos);
+  pos += 4;
+  return v;
+}
+
+std::uint64_t get_u64(const std::string& in, std::size_t& pos) {
+  if (pos + 8 > in.size()) throw PdatError("journal: truncated payload field");
+  const std::uint64_t v = load_u64(in.data() + pos);
+  pos += 8;
+  return v;
+}
+
+std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
+                                                       std::uint64_t* valid_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char header[kFileHeaderBytes];
+  in.read(header, static_cast<std::streamsize>(kFileHeaderBytes));
+  if (in.gcount() != static_cast<std::streamsize>(kFileHeaderBytes)) return std::nullopt;
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) {
+    if (header[i] != kMagic[i]) return std::nullopt;
+  }
+  if (load_u32(header + sizeof(kMagic)) != kVersion) return std::nullopt;
+
+  std::vector<JournalRecord> records;
+  std::uint64_t offset = kFileHeaderBytes;
+  for (;;) {
+    char rh[kRecordHeaderBytes];
+    in.read(rh, static_cast<std::streamsize>(kRecordHeaderBytes));
+    if (in.gcount() != static_cast<std::streamsize>(kRecordHeaderBytes)) break;
+    const std::uint32_t len = load_u32(rh);
+    const std::uint32_t type = load_u32(rh + 4);
+    const std::uint64_t checksum = load_u64(rh + 8);
+    if (len > kMaxPayload) break;
+    std::string payload(len, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(len));
+    if (in.gcount() != static_cast<std::streamsize>(len)) break;
+    if (journal_checksum(type, payload) != checksum) break;
+    records.push_back({type, std::move(payload)});
+    offset += kRecordHeaderBytes + len;
+  }
+  if (valid_bytes != nullptr) *valid_bytes = offset;
+  return records;
+}
+
+JournalWriter JournalWriter::create(const std::string& path) {
+  JournalWriter w;
+  w.path_ = path;
+  w.out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!w.out_) throw PdatError("journal: cannot create '" + path + "'");
+  w.out_.write(kMagic, sizeof(kMagic));
+  std::string v;
+  put_u32(v, kVersion);
+  w.out_.write(v.data(), static_cast<std::streamsize>(v.size()));
+  w.out_.flush();
+  return w;
+}
+
+JournalWriter JournalWriter::append_after_valid_prefix(const std::string& path) {
+  std::uint64_t valid = 0;
+  const auto records = read_journal(path, &valid);
+  if (!records.has_value()) {
+    throw PdatError("journal: '" + path + "' is missing or has a bad header; cannot append");
+  }
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid, ec);
+  if (ec) throw PdatError("journal: cannot truncate torn tail of '" + path + "'");
+  JournalWriter w;
+  w.path_ = path;
+  w.out_.open(path, std::ios::binary | std::ios::app);
+  if (!w.out_) throw PdatError("journal: cannot open '" + path + "' for append");
+  return w;
+}
+
+void JournalWriter::append(std::uint32_t type, const std::string& payload) {
+  std::string header;
+  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32(header, type);
+  put_u64(header, journal_checksum(type, payload));
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out_.flush();
+}
+
+}  // namespace pdat::runtime

@@ -1,0 +1,74 @@
+// Write-ahead checkpoint journal: checksummed, length-prefixed records.
+//
+// The proof engine appends a record after every completed fixpoint round so
+// that a crashed or killed run can resume from the last complete round
+// instead of re-proving from scratch. The on-disk format is designed for
+// exactly that failure mode:
+//
+//   file   := magic("PDATJRN1") version(u32) record*
+//   record := payload_len(u32) type(u32) checksum(u64) payload
+//
+// The checksum is FNV-1a over the type and payload. A reader accepts the
+// longest valid prefix: a record with a short header, a payload extending
+// past end-of-file, or a checksum mismatch ends the replay at the previous
+// record boundary — so a crash mid-write (torn tail) silently costs one
+// round, never the journal. Appending after a crash truncates the torn tail
+// first so the file never contains garbage between valid records.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdat::runtime {
+
+struct JournalRecord {
+  std::uint32_t type = 0;
+  std::string payload;
+};
+
+std::uint64_t journal_checksum(std::uint32_t type, const std::string& payload);
+
+// --- little-endian wire helpers (shared by checkpoint payload codecs) -------
+
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+/// Reads and advances `pos`; throws PdatError past-the-end (a record that
+/// passed its checksum but decodes short is a version/logic error, not a
+/// torn tail).
+std::uint32_t get_u32(const std::string& in, std::size_t& pos);
+std::uint64_t get_u64(const std::string& in, std::size_t& pos);
+
+/// Reads the longest valid record prefix of the journal at `path`.
+/// Returns nullopt when the file is missing, shorter than the file header,
+/// or carries a wrong magic/version. `valid_bytes`, when non-null, receives
+/// the byte offset just past the last valid record (the truncation point
+/// for append-after-crash).
+std::optional<std::vector<JournalRecord>> read_journal(const std::string& path,
+                                                       std::uint64_t* valid_bytes = nullptr);
+
+/// Appends records, flushing after each append so a SIGKILL between rounds
+/// loses at most the record being written.
+class JournalWriter {
+ public:
+  /// Truncates `path` and writes a fresh file header.
+  static JournalWriter create(const std::string& path);
+  /// Opens `path` for appending after its longest valid prefix, truncating
+  /// any torn tail. Throws PdatError when the file is absent or has a bad
+  /// header (resuming such a journal is a configuration error).
+  static JournalWriter append_after_valid_prefix(const std::string& path);
+
+  void append(std::uint32_t type, const std::string& payload);
+  bool ok() const { return out_.good(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  JournalWriter() = default;
+
+  std::ofstream out_;
+  std::string path_;
+};
+
+}  // namespace pdat::runtime

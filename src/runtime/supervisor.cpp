@@ -1,0 +1,124 @@
+#include "runtime/supervisor.h"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace pdat::runtime {
+
+namespace {
+
+struct QueuedAttempt {
+  std::size_t job;
+  int attempt;  // 1-based
+  JobBudget budget;
+};
+
+}  // namespace
+
+std::vector<JobReport> Supervisor::run(std::size_t n, const JobFn& fn) {
+  std::vector<JobReport> reports(n);
+  cancelled_.store(false, std::memory_order_relaxed);
+  if (n == 0) return reports;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<QueuedAttempt> queue;
+  for (std::size_t j = 0; j < n; ++j) queue.push_back({j, 1, opt_.initial});
+  std::size_t inflight = 0;
+  bool all_done = false;
+
+  const auto past_deadline = [this] {
+    if (!opt_.has_deadline) return false;
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() >= opt_.deadline) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
+  // Settles one attempt's outcome under the queue lock; returns true when
+  // the whole batch has drained.
+  const auto settle = [&](const QueuedAttempt& a, JobStatus status, bool crashed,
+                          const std::string& error) {
+    JobReport& r = reports[a.job];
+    r.attempts = a.attempt;
+    if (crashed) {
+      r.crashed = true;
+      r.last_error = error;
+      ++stats_.crashes;
+    }
+    if (status == JobStatus::Done && !crashed) {
+      r.completed = true;
+    } else if (a.attempt < opt_.max_attempts) {
+      ++stats_.retries;
+      queue.push_back({a.job, a.attempt + 1, a.budget.escalated(opt_.escalation)});
+    } else {
+      r.dropped = true;
+      ++stats_.drops;
+    }
+    --inflight;
+    if (queue.empty() && inflight == 0) {
+      all_done = true;
+      cv.notify_all();
+      return true;
+    }
+    cv.notify_one();
+    return false;
+  };
+
+  const auto worker = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait(lock, [&] { return all_done || !queue.empty(); });
+      if (all_done) return;
+      QueuedAttempt a = queue.front();
+      queue.pop_front();
+      ++inflight;
+      if (past_deadline()) {
+        JobReport& r = reports[a.job];
+        r.attempts = a.attempt - 1;
+        r.aborted = true;
+        ++stats_.aborted;
+        --inflight;
+        if (queue.empty() && inflight == 0) {
+          all_done = true;
+          cv.notify_all();
+          return;
+        }
+        continue;
+      }
+      lock.unlock();
+      JobStatus status = JobStatus::Retry;
+      bool crashed = false;
+      std::string error;
+      try {
+        status = fn(a.job, a.attempt, a.budget);
+      } catch (const std::exception& e) {
+        crashed = true;
+        error = e.what();
+      } catch (...) {
+        crashed = true;
+        error = "non-standard exception";
+      }
+      lock.lock();
+      if (settle(a, status, crashed, error)) return;
+    }
+  };
+
+  const int threads = opt_.threads;
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return reports;
+}
+
+}  // namespace pdat::runtime

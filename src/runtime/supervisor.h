@@ -1,0 +1,102 @@
+// Supervised proof-job runtime: a worker pool with per-job budgets, retry
+// escalation, and crash containment.
+//
+// Jobs are identified by index and executed by a fixed-size thread pool. An
+// attempt runs under a JobBudget (SAT conflicts / wall clock / solver
+// memory); a job that cannot finish within its budget returns Retry and is
+// re-enqueued with an exponentially escalated budget, up to a bounded number
+// of attempts, after which it is *dropped* — the caller must treat a dropped
+// job conservatively (in the proof engine: the candidates it carried are not
+// proved). An attempt that throws is contained the same way: the exception
+// is recorded, the worker survives, and the job is retried or dropped — one
+// pathological SAT query degrades that job, never the run.
+//
+// Determinism contract: the supervisor makes no result decisions — it only
+// schedules. As long as each job is a pure function of (job index, attempt,
+// budget) and the caller merges per-job results by index (never by
+// completion order), the outcome is bit-identical for any worker count.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pdat::runtime {
+
+/// Per-attempt resource budget. Escalation multiplies every finite/enabled
+/// dimension; a dimension left at its unlimited default stays unlimited.
+struct JobBudget {
+  std::int64_t conflicts = -1;   // per SAT call; < 0 = unlimited
+  double wall_seconds = 0;       // whole attempt; 0 = unlimited
+  std::size_t memory_bytes = 0;  // solver arena estimate; 0 = unlimited
+
+  JobBudget escalated(double factor) const {
+    JobBudget b = *this;
+    if (b.conflicts >= 0) b.conflicts = static_cast<std::int64_t>(static_cast<double>(b.conflicts) * factor) + 1;
+    if (b.wall_seconds > 0) b.wall_seconds *= factor;
+    if (b.memory_bytes > 0) b.memory_bytes = static_cast<std::size_t>(static_cast<double>(b.memory_bytes) * factor);
+    return b;
+  }
+};
+
+enum class JobStatus {
+  Done,   // verdict reached (possibly "nothing left to do")
+  Retry,  // budget exhausted with work remaining; escalate and re-run
+};
+
+/// attempt is 1-based. Throwing is equivalent to Retry with the exception
+/// message recorded (and counts as a crash).
+using JobFn = std::function<JobStatus(std::size_t job, int attempt, const JobBudget& budget)>;
+
+struct SupervisorOptions {
+  int threads = 1;          // <= 1 runs jobs inline on the calling thread
+  int max_attempts = 3;     // attempts per job before it is dropped
+  double escalation = 4.0;  // budget multiplier per retry
+  JobBudget initial;
+  /// Optional global wall-clock cutoff: jobs not finished when it passes
+  /// are marked aborted (distinct from dropped; the caller must treat the
+  /// whole batch as timed out, not merely unproved).
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+struct JobReport {
+  int attempts = 0;
+  bool completed = false;
+  bool dropped = false;
+  bool aborted = false;
+  bool crashed = false;  // at least one attempt threw
+  std::string last_error;
+};
+
+struct SupervisorStats {
+  std::size_t retries = 0;
+  std::size_t drops = 0;
+  std::size_t crashes = 0;
+  std::size_t aborted = 0;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions opt) : opt_(opt) {}
+
+  /// Runs jobs 0..n-1 to completion (or drop/abort). Blocks until done.
+  /// Reports are indexed by job, independent of execution order.
+  std::vector<JobReport> run(std::size_t n, const JobFn& fn);
+
+  const SupervisorStats& stats() const { return stats_; }
+
+  /// True once the global deadline has passed (visible to running jobs, so
+  /// long solver calls can poll it as an interrupt flag).
+  const std::atomic<bool>& cancelled() const { return cancelled_; }
+
+ private:
+  SupervisorOptions opt_;
+  SupervisorStats stats_;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace pdat::runtime

@@ -368,10 +368,29 @@ void Solver::reduce_db() {
 }
 
 SolveResult Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conflict_budget) {
+  SolveLimits limits;
+  limits.conflict_budget = conflict_budget;
+  return solve(assumptions, limits);
+}
+
+SolveResult Solver::solve(const std::vector<Lit>& assumptions, const SolveLimits& limits) {
   if (!ok_) return SolveResult::Unsat;
   cancel_until(0);
   conflict_core_.clear();
   model_.clear();
+
+  const std::int64_t conflict_budget = limits.conflict_budget;
+  // Fold the per-call wall limit into the deadline check: earliest cutoff wins.
+  bool check_clock = has_deadline_;
+  auto clock_cutoff = deadline_;
+  if (limits.wall_seconds > 0) {
+    const auto call_cutoff =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(limits.wall_seconds));
+    clock_cutoff = check_clock ? std::min(clock_cutoff, call_cutoff) : call_cutoff;
+    check_clock = true;
+  }
 
   std::uint64_t start_conflicts = conflicts_;
   int restart_idx = 0;
@@ -409,12 +428,23 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conf
         cancel_until(0);
         return SolveResult::Unknown;
       }
-      // Wall-clock deadline: sampled every 256 conflicts to keep the clock
-      // read off the hot path.
-      if (has_deadline_ && (conflicts_ & 0xff) == 0 &&
-          std::chrono::steady_clock::now() >= deadline_) {
+      // Memory limit: deterministic (depends only on the solver run), so it
+      // can serve as a reproducible per-job budget dimension.
+      if (limits.memory_bytes > 0 && memory_estimate() >= limits.memory_bytes) {
         cancel_until(0);
         return SolveResult::Unknown;
+      }
+      // Wall-clock deadline and cooperative interrupt: sampled every 256
+      // conflicts to keep the clock read off the hot path.
+      if ((conflicts_ & 0xff) == 0) {
+        if (check_clock && std::chrono::steady_clock::now() >= clock_cutoff) {
+          cancel_until(0);
+          return SolveResult::Unknown;
+        }
+        if (limits.interrupt != nullptr && limits.interrupt->load(std::memory_order_relaxed)) {
+          cancel_until(0);
+          return SolveResult::Unknown;
+        }
       }
       if (conflicts_ - restart_base >= restart_limit) {
         ++restart_idx;

@@ -7,6 +7,7 @@
 // budget hit as "inconclusive" and conservatively keeps the gate).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <vector>
@@ -39,6 +40,18 @@ enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
 
 enum class SolveResult { Sat, Unsat, Unknown };
 
+/// Per-call resource limits for the supervised proof runtime. Conflict and
+/// memory limits are deterministic (a pure function of the solver run);
+/// wall-clock and the interrupt flag are not, and callers that need
+/// bit-reproducible verdicts must treat hits on those as "abort everything",
+/// never as a per-candidate verdict.
+struct SolveLimits {
+  std::int64_t conflict_budget = -1;     // < 0 = unlimited
+  double wall_seconds = 0;               // from call start; 0 = unlimited
+  std::size_t memory_bytes = 0;          // clause-arena estimate; 0 = unlimited
+  const std::atomic<bool>* interrupt = nullptr;  // cooperative cancel
+};
+
 class Solver {
  public:
   Solver();
@@ -55,6 +68,18 @@ class Solver {
 
   /// Solves under assumptions. conflict_budget < 0 means unlimited.
   SolveResult solve(const std::vector<Lit>& assumptions = {}, std::int64_t conflict_budget = -1);
+
+  /// Solves under a full per-call limit set (returns Unknown on any limit or
+  /// interrupt). The wall-clock limit composes with set_deadline(): the
+  /// earlier cutoff wins.
+  SolveResult solve(const std::vector<Lit>& assumptions, const SolveLimits& limits);
+
+  /// Deterministic estimate of the clause-store footprint, used by
+  /// SolveLimits::memory_bytes (checked on every conflict, so a blown-up
+  /// query degrades to Unknown instead of exhausting the host).
+  std::size_t memory_estimate() const {
+    return arena_.size() * sizeof(Lit) + clauses_.size() * sizeof(Clause);
+  }
 
   /// Optional wall-clock deadline applying to every subsequent solve() call:
   /// once passed, solve() returns Unknown (checked periodically on conflicts,

@@ -274,7 +274,8 @@ TEST(Induction, TinyConflictBudgetDropsCandidatesNeverProvesUnsoundly) {
   }
   InductionOptions opt;
   opt.conflict_budget = 1;
-  opt.cex_sim_cycles = 0;  // no replay accelerator: force the SAT-side path
+  opt.max_job_attempts = 1;  // no budget escalation: exhaustion must drop, not retry
+  opt.cex_sim_cycles = 0;    // no replay accelerator: force the SAT-side path
   InductionStats st;
   const auto proven = prove_invariants(nl, env, cands, opt, &st);
   EXPECT_GT(st.budget_kills, 0u) << "expected inconclusive candidates to be dropped";
