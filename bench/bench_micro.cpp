@@ -9,6 +9,7 @@
 #include "opt/optimizer.h"
 #include "sat/solver.h"
 #include "sim/bitsim.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -64,6 +65,43 @@ void BM_SatCombinationalQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SatCombinationalQuery);
+
+// Baseline for the observability layer's disabled-cost acceptance bar
+// (< 2% regression, docs/telemetry.md "Overhead"): a realistic incremental
+// SAT workload with telemetry off — the product default. Compare captures of
+// this benchmark across commits when touching instrumented hot paths.
+void sat_baseline(benchmark::State& state) {
+  pdat::trace::end_run();
+  const pdat::Netlist& nl = ibex_netlist();
+  pdat::sat::Solver s;
+  pdat::FrameEncoder enc(nl);
+  const pdat::Frame f = enc.encode(s);
+  const pdat::Port* out = nl.find_output("dmem_addr");
+  int bit = 0;
+  for (auto _ : state) {
+    const auto r = s.solve({f.lit(out->bits[static_cast<std::size_t>(bit)], true)}, 100000);
+    benchmark::DoNotOptimize(r);
+    bit = (bit + 1) % 32;
+  }
+}
+BENCHMARK(sat_baseline);
+
+// The disabled instrumentation fast path in isolation: one span construction
+// plus one counter add plus one histogram observe per iteration, everything
+// off. Each op should cost a relaxed atomic load and nothing else — compare
+// per-iteration time against sat_baseline's to bound the call-site overhead.
+void trace_disabled_overhead(benchmark::State& state) {
+  pdat::trace::end_run();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    pdat::trace::Span span("runtime.job", {"job", i}, {"attempt", 1});
+    pdat::trace::add(pdat::trace::Counter::SatConflicts, 1);
+    pdat::trace::observe(pdat::trace::Histogram::SatConflictsPerCall, 42);
+    ++i;
+  }
+  benchmark::DoNotOptimize(i);
+}
+BENCHMARK(trace_disabled_overhead);
 
 void BM_OptimizeIbex(benchmark::State& state) {
   for (auto _ : state) {

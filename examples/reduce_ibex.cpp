@@ -18,6 +18,12 @@
 //   --report=PATH   write a timing-free result report (funnel numbers,
 //                   proved invariants, gate/area counts) — byte-comparable
 //                   across interrupted-and-resumed and uninterrupted runs
+//   --trace[=PATH]  record hierarchical spans and write a Chrome-trace /
+//                   Perfetto JSON (default trace.json); open in
+//                   chrome://tracing or https://ui.perfetto.dev
+//   --metrics[=PATH] write the versioned "pdat-metrics" document (solver /
+//                   induction / runtime counters, per-stage timings; default
+//                   metrics.json) — schema in docs/telemetry.md
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -59,6 +65,16 @@ void write_report(std::ostream& os, const std::string& subset_name, const PdatRe
   os << "area_after " << res.area_after << "\n";
   os << "flops_before " << res.flops_before << "\n";
   os << "flops_after " << res.flops_after << "\n";
+  // Telemetry summary: only journaled (resume-stable) InductionStats fields,
+  // never the trace-layer counters — wall-budget and scheduling effects must
+  // not leak into a byte-compared report.
+  os << "proof_rounds " << res.induction.rounds << "\n";
+  os << "proof_sat_calls " << res.induction.sat_calls << "\n";
+  os << "proof_cex_kills " << res.induction.cex_kills << "\n";
+  os << "proof_budget_kills " << res.induction.budget_kills << "\n";
+  os << "proof_job_retries " << res.induction.job_retries << "\n";
+  os << "proof_job_drops " << res.induction.job_drops << "\n";
+  os << "proof_job_crashes " << res.induction.job_crashes << "\n";
   for (const auto& p : res.proven_props) os << "prop " << p.describe() << "\n";
 }
 
@@ -66,7 +82,7 @@ void write_report(std::ostream& os, const std::string& subset_name, const PdatRe
 
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
-  std::string journal_path, resume_path, report_path;
+  std::string journal_path, resume_path, report_path, trace_path, metrics_path;
   int threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +94,14 @@ int main(int argc, char** argv) {
       resume_path = arg.substr(9);
     } else if (arg.rfind("--report=", 0) == 0) {
       report_path = arg.substr(9);
+    } else if (arg == "--trace") {
+      trace_path = "trace.json";
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg == "--metrics") {
+      metrics_path = "metrics.json";
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
@@ -102,6 +126,9 @@ int main(int argc, char** argv) {
   opt.induction.threads = threads;
   opt.checkpoint_journal = journal_path;
   opt.resume_from = resume_path;
+  opt.trace_path = trace_path;
+  opt.metrics_path = metrics_path;
+  opt.run_label = "reduce_ibex:" + subset_name;
 
   const auto instr_q = core.instr_reg_q;
   PdatResult res;

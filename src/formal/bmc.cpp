@@ -4,6 +4,7 @@
 
 #include "base/log.h"
 #include "formal/cnf_encoder.h"
+#include "trace/trace.h"
 
 namespace pdat {
 
@@ -27,6 +28,8 @@ void arm_deadline(sat::Solver& s, double deadline_seconds) {
 BmcResult bmc_check(const Netlist& nl, const Environment& env, const GateProperty& prop,
                     int depth, std::int64_t conflict_budget, double deadline_seconds) {
   BmcResult res;
+  trace::Span span("bmc.check", {"depth", depth});
+  trace::add(trace::Counter::BmcChecks, 1);
   FrameEncoder enc(nl);
   sat::Solver s;
   arm_deadline(s, deadline_seconds);
@@ -58,9 +61,12 @@ BmcResult bmc_check(const Netlist& nl, const Environment& env, const GatePropert
       assumptions = {aux};
     }
     const SolveResult r = s.solve(assumptions, conflict_budget);
+    trace::add(trace::Counter::BmcFramesSolved, 1);
     if (r == SolveResult::Sat) {
       res.violated = true;
       res.violation_frame = t;
+      trace::add(trace::Counter::BmcViolations, 1);
+      span.arg("violation_frame", t);
       return res;
     }
     if (r == SolveResult::Unknown) res.inconclusive = true;
@@ -70,6 +76,7 @@ BmcResult bmc_check(const Netlist& nl, const Environment& env, const GatePropert
 
 bool env_satisfiable(const Netlist& nl, const Environment& env, int depth,
                      double deadline_seconds) {
+  trace::Span span("bmc.env_check", {"depth", depth});
   FrameEncoder enc(nl);
   sat::Solver s;
   arm_deadline(s, deadline_seconds);

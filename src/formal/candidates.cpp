@@ -4,12 +4,16 @@
 #include <unordered_map>
 
 #include "netlist/levelize.h"
+#include "trace/trace.h"
 
 namespace pdat {
 
 SimFilterResult sim_filter(const Netlist& nl, const Environment& env,
                            std::vector<GateProperty> candidates, const SimFilterOptions& opt) {
   SimFilterResult res;
+  trace::Span span("candidates.sim_filter",
+                   {"candidates", static_cast<std::int64_t>(candidates.size())},
+                   {"restarts", opt.restarts}, {"cycles", opt.cycles});
   BitSim sim(nl);
   Rng rng(opt.seed);
 
@@ -57,11 +61,18 @@ SimFilterResult sim_filter(const Netlist& nl, const Environment& env,
     else
       ++res.dropped;
   }
+  trace::add(trace::Counter::SimFilterCycles,
+             static_cast<std::uint64_t>(opt.restarts) * static_cast<std::uint64_t>(opt.cycles));
+  trace::add(trace::Counter::SimFilterAssumeViolationCycles,
+             static_cast<std::uint64_t>(res.assume_violation_cycles));
+  trace::add(trace::Counter::SimFilterDropped, static_cast<std::uint64_t>(res.dropped));
+  span.arg("dropped", res.dropped);
   return res;
 }
 
 std::vector<GateProperty> equivalence_candidates(const Netlist& nl, const Environment& env,
                                                  const EquivCandidateOptions& opt) {
+  trace::Span span("candidates.equivalence");
   const Levelization lv = levelize(nl);
   BitSim sim(nl);
   Rng rng(opt.sim.seed ^ 0xE9);
@@ -103,8 +114,10 @@ std::vector<GateProperty> equivalence_candidates(const Netlist& nl, const Enviro
   for (NetId n : nets) classes[sig[n]].push_back(n);
 
   std::vector<GateProperty> out;
+  std::uint64_t used_classes = 0;
   for (auto& [key, members] : classes) {
     if (members.size() < 2 || members.size() > opt.max_class_size) continue;
+    ++used_classes;
     // Representative: minimal (level, id). Equal signatures can still be
     // hash collisions or coincidences — SAT decides later.
     std::sort(members.begin(), members.end(), [&](NetId x, NetId y) {
@@ -121,6 +134,10 @@ std::vector<GateProperty> equivalence_candidates(const Netlist& nl, const Enviro
       out.push_back(p);
     }
   }
+  trace::add(trace::Counter::EquivClasses, used_classes);
+  trace::add(trace::Counter::EquivCandidates, out.size());
+  span.arg("classes", static_cast<std::int64_t>(used_classes));
+  span.arg("candidates", static_cast<std::int64_t>(out.size()));
   return out;
 }
 

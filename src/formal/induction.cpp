@@ -10,6 +10,7 @@
 #include "runtime/journal.h"
 #include "runtime/supervisor.h"
 #include "sim/bitsim.h"
+#include "trace/trace.h"
 
 namespace pdat {
 
@@ -224,6 +225,9 @@ struct Engine {
   void cex_replay(const sat::Solver& s, const Frame& fk, BitSim& sim, Environment& local_env,
                   Rng& rng, std::vector<char>& job_killed, JobOutcome& out) const {
     if (opt.cex_sim_cycles <= 0) return;
+    trace::add(trace::Counter::InductionCexReplays, 1);
+    trace::add(trace::Counter::InductionCexReplayCycles,
+               static_cast<std::uint64_t>(opt.cex_sim_cycles));
     for (CellId flop : sim.levels().flops) {
       const NetId q = nl.cell(flop).out;
       sim.set_flop_state(flop, s.model_value(fk.net_var[q]) ? ~0ULL : 0);
@@ -306,7 +310,33 @@ struct Engine {
   /// Base case: every alive candidate must hold in frames 0..k-1 from the
   /// power-on state. One supervised job per batch; verdicts are independent
   /// across candidates, so a single round suffices.
+  /// Records one round's telemetry at the barrier (main thread, round order):
+  /// the RoundRecord for metrics.json plus the delta counters. `round` is -1
+  /// for the base case, matching runtime::kBaseRound.
+  void round_telemetry(int round, std::size_t alive_before, std::size_t sc0, std::size_t ck0,
+                       std::size_t bk0, std::size_t removed) const {
+    if (!trace::collecting()) return;
+    trace::RoundRecord rec;
+    rec.round = round;
+    rec.alive_before = alive_before;
+    rec.cex_kills = st.cex_kills - ck0;
+    rec.budget_kills = st.budget_kills - bk0;
+    rec.sat_calls = st.sat_calls - sc0;
+    trace::record_round(rec);
+    trace::add(trace::Counter::InductionSatCalls, rec.sat_calls);
+    trace::add(trace::Counter::InductionCexKills, rec.cex_kills);
+    trace::add(trace::Counter::InductionBudgetKills, rec.budget_kills);
+    if (round >= 0) trace::add(trace::Counter::InductionRounds, 1);
+    trace::observe(trace::Histogram::InductionRoundKills, removed);
+  }
+
   void run_base_phase() {
+    trace::Span span("induction.base");
+    const std::size_t alive_before = popcount(alive);
+    const std::size_t sc0 = st.sat_calls;
+    const std::size_t ck0 = st.cex_kills;
+    const std::size_t bk0 = st.budget_kills;
+    span.arg("alive", static_cast<std::int64_t>(alive_before));
     const int k = opt.k < 1 ? 1 : opt.k;
     // Shared template: k frames from reset with the environment assumed.
     sat::Solver tmpl;
@@ -435,13 +465,21 @@ struct Engine {
     // Note: batch members surviving in `pending` after a completed job are
     // exactly the ones never falsified — nothing to do for them here. The
     // model kills recorded in the outcomes remove the rest.
-    merge_round(batches, pending, outcomes, reports, sup.stats());
+    const std::size_t removed = merge_round(batches, pending, outcomes, reports, sup.stats());
+    round_telemetry(runtime::kBaseRound, alive_before, sc0, ck0, bk0, removed);
+    span.arg("killed", static_cast<std::int64_t>(removed));
   }
 
   /// One step round: asserts the current alive set at frames 0..k-1 and
   /// dispatches batch jobs checking for violations at frame k. Returns the
   /// number of candidates removed (0 = the alive set is the fixpoint).
   std::size_t run_step_round(int round) {
+    trace::Span span("induction.round", {"round", round});
+    const std::size_t alive_before = popcount(alive);
+    const std::size_t sc0 = st.sat_calls;
+    const std::size_t ck0 = st.cex_kills;
+    const std::size_t bk0 = st.budget_kills;
+    span.arg("alive", static_cast<std::int64_t>(alive_before));
     const int k = opt.k < 1 ? 1 : opt.k;
     sat::Solver tmpl;
     std::vector<Frame> frames;
@@ -572,7 +610,10 @@ struct Engine {
     };
 
     const auto reports = sup.run(batches.size(), job);
-    return merge_round(batches, pending, outcomes, reports, sup.stats());
+    const std::size_t removed = merge_round(batches, pending, outcomes, reports, sup.stats());
+    round_telemetry(round, alive_before, sc0, ck0, bk0, removed);
+    span.arg("killed", static_cast<std::int64_t>(removed));
+    return removed;
   }
 };
 
@@ -583,6 +624,8 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
                                            const InductionOptions& opt, InductionStats* stats) {
   InductionStats st;
   st.initial = candidates.size();
+  trace::Span span("induction.prove",
+                   {"candidates", static_cast<std::int64_t>(candidates.size())});
 
   Deadline dl;
   dl.st = &st;
@@ -698,6 +741,7 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
     if (eng.alive[i]) proven.push_back(candidates[i]);
   }
   st.proven = proven.size();
+  span.arg("proven", static_cast<std::int64_t>(proven.size()));
   if (stats != nullptr) *stats = st;
   return proven;
 }

@@ -1,12 +1,18 @@
 #include "pdat/pipeline.h"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <limits>
+#include <optional>
 
 #include "base/log.h"
 #include "formal/bmc.h"
 #include "netlist/check.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace pdat {
 
@@ -15,6 +21,42 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t idx(PdatStage s) { return static_cast<std::size_t>(s); }
+
+/// Stage span names must be literals known to the registry (registry.cpp),
+/// so this is a switch rather than string concatenation.
+const char* stage_span_name(PdatStage s) {
+  switch (s) {
+    case PdatStage::Restrict: return "pdat.stage.restrict";
+    case PdatStage::EnvCheck: return "pdat.stage.env-check";
+    case PdatStage::Annotate: return "pdat.stage.annotate";
+    case PdatStage::SimFilter: return "pdat.stage.sim-filter";
+    case PdatStage::Induction: return "pdat.stage.induction";
+    case PdatStage::Rewire: return "pdat.stage.rewire";
+    case PdatStage::Resynthesis: return "pdat.stage.resynthesis";
+    case PdatStage::Validate: return "pdat.stage.validate";
+  }
+  return "pdat.stage.?";
+}
+
+/// Ordinal of env-var-driven telemetry captures in this process: run 1
+/// writes the PDAT_TRACE / PDAT_METRICS path verbatim, run N > 1 appends
+/// ".N" so benchmark binaries with several run_pdat calls keep every run.
+std::atomic<int> g_env_capture_ordinal{0};
+
+std::string nth_capture_path(const char* base, int n) {
+  std::string p(base);
+  if (n > 1) p += "." + std::to_string(n);
+  return p;
+}
+
+/// Disables collection on scope exit so a thrown configuration error cannot
+/// leave the process-global tracer enabled.
+struct TelemetryScope {
+  bool active = false;
+  ~TelemetryScope() {
+    if (active) trace::end_run();
+  }
+};
 
 /// Tracks the per-stage and whole-pipeline wall-clock budgets.
 struct PipelineClock {
@@ -43,15 +85,49 @@ PdatResult run_pdat(const Netlist& design,
   res.area_before = design.area();
   res.flops_before = design.num_flops();
 
+  // --- telemetry setup -------------------------------------------------------
+  // Explicit paths win; empty ones fall back to PDAT_TRACE / PDAT_METRICS.
+  // Collection is only toggled when this call requested output, so a caller
+  // (or test) that ran trace::begin_run itself keeps its own session.
+  std::string trace_path = opt.trace_path;
+  std::string metrics_path = opt.metrics_path;
+  const char* env_trace = std::getenv("PDAT_TRACE");
+  const char* env_metrics = std::getenv("PDAT_METRICS");
+  if (trace_path.empty() && env_trace != nullptr && *env_trace != '\0') trace_path = env_trace;
+  if (metrics_path.empty() && env_metrics != nullptr && *env_metrics != '\0') {
+    metrics_path = env_metrics;
+  }
+  if ((!trace_path.empty() && opt.trace_path.empty()) ||
+      (!metrics_path.empty() && opt.metrics_path.empty())) {
+    const int n = g_env_capture_ordinal.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (opt.trace_path.empty() && !trace_path.empty()) {
+      trace_path = nth_capture_path(trace_path.c_str(), n);
+    }
+    if (opt.metrics_path.empty() && !metrics_path.empty()) {
+      metrics_path = nth_capture_path(metrics_path.c_str(), n);
+    }
+  }
+  TelemetryScope telemetry;
+  telemetry.active = !trace_path.empty() || !metrics_path.empty();
+  if (telemetry.active) trace::begin_run(/*events=*/!trace_path.empty());
+  std::optional<trace::Span> run_span;
+  run_span.emplace("pdat.run", trace::SpanArg{"gates_before",
+                                              static_cast<std::int64_t>(res.gates_before)});
+
   PipelineClock clk;
   clk.stage_limit = opt.stage_deadline_seconds;
   clk.total_limit = opt.total_deadline_seconds;
 
   double stage_t0 = 0;
-  const auto begin_stage = [&] { stage_t0 = clk.elapsed(); };
+  std::optional<trace::Span> stage_span;
+  const auto begin_stage = [&](PdatStage st) {
+    stage_t0 = clk.elapsed();
+    stage_span.emplace(stage_span_name(st));
+  };
   const auto end_stage = [&](PdatStage st) {
     const double took = clk.elapsed() - stage_t0;
     res.stage_seconds[idx(st)] = took;
+    stage_span.reset();
     return took;
   };
   // Degrades gracefully (note + warn) or throws under `strict`. The pipeline
@@ -74,7 +150,7 @@ PdatResult run_pdat(const Netlist& design,
   // --- build the analysis netlist: design + restrictions -------------------
   // A malformed restriction is a configuration error: always thrown, never
   // degraded, so a bad environment cannot silently yield an identity run.
-  begin_stage();
+  begin_stage(PdatStage::Restrict);
   Netlist analysis = design;
   const CellId design_cells = static_cast<CellId>(design.num_cells_raw());
   RestrictionResult restr;
@@ -88,7 +164,7 @@ PdatResult run_pdat(const Netlist& design,
   }
   end_stage(PdatStage::Restrict);
 
-  begin_stage();
+  begin_stage(PdatStage::EnvCheck);
   if (opt.check_env_satisfiable) {
     const double env_budget = clk.stage_budget();
     if (!env_satisfiable(analysis, restr.env, opt.env_check_depth,
@@ -99,7 +175,7 @@ PdatResult run_pdat(const Netlist& design,
   end_stage(PdatStage::EnvCheck);
 
   // --- annotate with the property library ----------------------------------
-  begin_stage();
+  begin_stage(PdatStage::Annotate);
   std::vector<GateProperty> candidates;
   try {
     PropertyLibraryOptions plopt = opt.properties;
@@ -124,7 +200,7 @@ PdatResult run_pdat(const Netlist& design,
   res.candidates = candidates.size();
 
   // --- property checking stage ----------------------------------------------
-  begin_stage();
+  begin_stage(PdatStage::SimFilter);
   std::vector<GateProperty> survivors;
   try {
     SimFilterOptions simopt = opt.sim;
@@ -146,7 +222,7 @@ PdatResult run_pdat(const Netlist& design,
   log_info() << "PDAT: " << res.candidates << " candidates, " << res.after_sim_filter
              << " after simulation filtering";
 
-  begin_stage();
+  begin_stage(PdatStage::Induction);
   std::vector<GateProperty> proven;
   InductionOptions iopt = opt.induction;
   if (iopt.journal_path.empty()) iopt.journal_path = opt.checkpoint_journal;
@@ -201,7 +277,7 @@ PdatResult run_pdat(const Netlist& design,
   log_info() << "PDAT: proved " << res.proven << " gate invariants";
 
   // --- rewiring stage (on a fresh copy of the original design) --------------
-  begin_stage();
+  begin_stage(PdatStage::Rewire);
   res.transformed = design;
   try {
     res.rewires = apply_rewiring(res.transformed, proven);
@@ -213,7 +289,7 @@ PdatResult run_pdat(const Netlist& design,
   end_stage(PdatStage::Rewire);
 
   // --- logic resynthesis stage ----------------------------------------------
-  begin_stage();
+  begin_stage(PdatStage::Resynthesis);
   if (clk.total_expired()) {
     degrade(PdatStage::Resynthesis, "total deadline exhausted; shipping unoptimized rewiring");
   } else {
@@ -231,7 +307,7 @@ PdatResult run_pdat(const Netlist& design,
 
   // --- validation safety net -------------------------------------------------
   if (opt.validate.enabled) {
-    begin_stage();
+    begin_stage(PdatStage::Validate);
     try {
       validate::ValidationOptions vopt = opt.validate;
       const double budget = clk.stage_budget();
@@ -259,6 +335,46 @@ PdatResult run_pdat(const Netlist& design,
   res.area_after = res.transformed.area();
   res.flops_after = res.transformed.num_flops();
   res.total_seconds = clk.elapsed();
+
+  // --- telemetry output ------------------------------------------------------
+  run_span->arg("gates_after", static_cast<std::int64_t>(res.gates_after));
+  run_span->arg("proven", static_cast<std::int64_t>(res.proven));
+  run_span.reset();  // close pdat.run so it lands in the trace file
+  if (telemetry.active) {
+    trace::end_run();
+    telemetry.active = false;
+    if (!metrics_path.empty()) {
+      trace::MetricsInfo info;
+      info.label = opt.run_label;
+      info.candidates = res.candidates;
+      info.after_sim_filter = res.after_sim_filter;
+      info.proven = res.proven;
+      info.gates_before = res.gates_before;
+      info.gates_after = res.gates_after;
+      info.degraded = res.degraded;
+      info.resumed_from_round = res.induction.resumed_from_round;
+      for (std::size_t s = 0; s < kNumPdatStages; ++s) {
+        info.stages.push_back({stage_name(static_cast<PdatStage>(s)), res.stage_seconds[s]});
+      }
+      info.total_wall_seconds = res.total_seconds;
+      std::ofstream out(metrics_path);
+      if (out) {
+        trace::write_metrics_json(out, info);
+        log_info() << "PDAT: wrote metrics to '" << metrics_path << "'";
+      } else {
+        log_warn() << "PDAT: cannot open metrics path '" << metrics_path << "'";
+      }
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (out) {
+        trace::write_chrome_trace(out);
+        log_info() << "PDAT: wrote trace to '" << trace_path << "'";
+      } else {
+        log_warn() << "PDAT: cannot open trace path '" << trace_path << "'";
+      }
+    }
+  }
   return res;
 }
 

@@ -47,6 +47,20 @@ struct PdatOptions {
   /// unless those are already set explicitly.
   std::string checkpoint_journal;
   std::string resume_from;
+  /// Observability (src/trace/, docs/telemetry.md). When `trace_path` is
+  /// set, the run records hierarchical spans and writes a Chrome-trace/
+  /// Perfetto JSON there; when `metrics_path` is set, it writes a versioned
+  /// "pdat-metrics" document (counters, histograms, per-round proof records,
+  /// per-stage timings). Either one enables counter collection for the whole
+  /// run. Empty paths fall back to the PDAT_TRACE / PDAT_METRICS environment
+  /// variables (the Nth run_pdat call in the process appends ".N" for N > 1,
+  /// so multi-variant benchmark binaries keep every run). Tracing is
+  /// compiled in but off by default; the disabled cost is one relaxed atomic
+  /// load per instrumentation site.
+  std::string trace_path;
+  std::string metrics_path;
+  /// Free-form label stamped into metrics.json ("" = unlabeled).
+  std::string run_label;
   /// Stage failures throw StageError instead of degrading gracefully.
   bool strict = false;
   /// Post-transform validation (off by default; see src/validate/).

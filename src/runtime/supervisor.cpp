@@ -1,10 +1,13 @@
 #include "runtime/supervisor.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
+
+#include "trace/trace.h"
 
 namespace pdat::runtime {
 
@@ -22,6 +25,9 @@ std::vector<JobReport> Supervisor::run(std::size_t n, const JobFn& fn) {
   std::vector<JobReport> reports(n);
   cancelled_.store(false, std::memory_order_relaxed);
   if (n == 0) return reports;
+  trace::Span run_span("runtime.run", {"jobs", static_cast<std::int64_t>(n)},
+                       {"threads", opt_.threads});
+  trace::add(trace::Counter::RuntimeJobsDispatched, n);
 
   std::mutex mu;
   std::condition_variable cv;
@@ -50,15 +56,18 @@ std::vector<JobReport> Supervisor::run(std::size_t n, const JobFn& fn) {
       r.crashed = true;
       r.last_error = error;
       ++stats_.crashes;
+      trace::add(trace::Counter::RuntimeJobCrashes, 1);
     }
     if (status == JobStatus::Done && !crashed) {
       r.completed = true;
     } else if (a.attempt < opt_.max_attempts) {
       ++stats_.retries;
+      trace::add(trace::Counter::RuntimeJobRetries, 1);
       queue.push_back({a.job, a.attempt + 1, a.budget.escalated(opt_.escalation)});
     } else {
       r.dropped = true;
       ++stats_.drops;
+      trace::add(trace::Counter::RuntimeJobDrops, 1);
     }
     --inflight;
     if (queue.empty() && inflight == 0) {
@@ -77,12 +86,14 @@ std::vector<JobReport> Supervisor::run(std::size_t n, const JobFn& fn) {
       if (all_done) return;
       QueuedAttempt a = queue.front();
       queue.pop_front();
+      trace::observe(trace::Histogram::RuntimeQueueDepth, queue.size());
       ++inflight;
       if (past_deadline()) {
         JobReport& r = reports[a.job];
         r.attempts = a.attempt - 1;
         r.aborted = true;
         ++stats_.aborted;
+        trace::add(trace::Counter::RuntimeJobAborts, 1);
         --inflight;
         if (queue.empty() && inflight == 0) {
           all_done = true;
@@ -95,14 +106,29 @@ std::vector<JobReport> Supervisor::run(std::size_t n, const JobFn& fn) {
       JobStatus status = JobStatus::Retry;
       bool crashed = false;
       std::string error;
-      try {
-        status = fn(a.job, a.attempt, a.budget);
-      } catch (const std::exception& e) {
-        crashed = true;
-        error = e.what();
-      } catch (...) {
-        crashed = true;
-        error = "non-standard exception";
+      {
+        trace::Span job_span("runtime.job", {"job", static_cast<std::int64_t>(a.job)},
+                             {"attempt", a.attempt});
+        trace::add(trace::Counter::RuntimeJobAttempts, 1);
+        const bool busy_timing = trace::collecting();
+        std::chrono::steady_clock::time_point t0;
+        if (busy_timing) t0 = std::chrono::steady_clock::now();
+        try {
+          status = fn(a.job, a.attempt, a.budget);
+        } catch (const std::exception& e) {
+          crashed = true;
+          error = e.what();
+        } catch (...) {
+          crashed = true;
+          error = "non-standard exception";
+        }
+        if (busy_timing) {
+          trace::add(trace::Counter::RuntimeWorkerBusyMicros,
+                     static_cast<std::uint64_t>(
+                         std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count()));
+        }
       }
       lock.lock();
       if (settle(a, status, crashed, error)) return;
@@ -117,6 +143,12 @@ std::vector<JobReport> Supervisor::run(std::size_t n, const JobFn& fn) {
     pool.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
+  }
+  if (trace::collecting()) {
+    for (const JobReport& r : reports) {
+      trace::observe(trace::Histogram::RuntimeAttemptsPerJob,
+                     static_cast<std::uint64_t>(r.attempts));
+    }
   }
   return reports;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/trace.h"
+
 namespace pdat::sat {
 namespace {
 
@@ -341,6 +343,7 @@ Lit Solver::pick_branch_lit() {
 }
 
 void Solver::reduce_db() {
+  ++db_reductions_;
   // Keep the half with lowest LBD (ties by activity).
   std::vector<ClauseRef> sorted = learnts_;
   std::sort(sorted.begin(), sorted.end(), [&](ClauseRef a, ClauseRef b) {
@@ -374,6 +377,37 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conf
 }
 
 SolveResult Solver::solve(const std::vector<Lit>& assumptions, const SolveLimits& limits) {
+  // The telemetry check is sampled once per call, not per conflict: the
+  // conflict loop reads the cached member and flushes a single delta here.
+  stats_collect_ = trace::collecting();
+  if (!stats_collect_) return solve_internal(assumptions, limits);
+
+  const std::uint64_t c0 = conflicts_;
+  const std::uint64_t d0 = decisions_;
+  const std::uint64_t p0 = propagations_;
+  const std::uint64_t r0 = restarts_;
+  const std::uint64_t db0 = db_reductions_;
+  const std::uint64_t lc0 = learned_clauses_;
+  const std::uint64_t ll0 = learned_literals_;
+  const SolveResult res = solve_internal(assumptions, limits);
+  trace::add(trace::Counter::SatSolveCalls, 1);
+  switch (res) {
+    case SolveResult::Sat: trace::add(trace::Counter::SatSolveSat, 1); break;
+    case SolveResult::Unsat: trace::add(trace::Counter::SatSolveUnsat, 1); break;
+    case SolveResult::Unknown: trace::add(trace::Counter::SatSolveUnknown, 1); break;
+  }
+  trace::add(trace::Counter::SatConflicts, conflicts_ - c0);
+  trace::add(trace::Counter::SatDecisions, decisions_ - d0);
+  trace::add(trace::Counter::SatPropagations, propagations_ - p0);
+  trace::add(trace::Counter::SatRestarts, restarts_ - r0);
+  trace::add(trace::Counter::SatDbReductions, db_reductions_ - db0);
+  trace::add(trace::Counter::SatLearnedClauses, learned_clauses_ - lc0);
+  trace::add(trace::Counter::SatLearnedLiterals, learned_literals_ - ll0);
+  trace::observe(trace::Histogram::SatConflictsPerCall, conflicts_ - c0);
+  return res;
+}
+
+SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions, const SolveLimits& limits) {
   if (!ok_) return SolveResult::Unsat;
   cancel_until(0);
   conflict_core_.clear();
@@ -409,6 +443,12 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions, const SolveLimits
       int btlevel;
       std::uint32_t lbd;
       analyze(confl, learnt, btlevel, lbd);
+      if (stats_collect_) {
+        ++learned_clauses_;
+        learned_literals_ += learnt.size();
+        trace::observe(trace::Histogram::SatLearnedClauseSize, learnt.size());
+        trace::observe(trace::Histogram::SatLearnedClauseLbd, lbd);
+      }
       // Never backtrack past the assumptions.
       cancel_until(btlevel);
       if (learnt.size() == 1) {
@@ -450,6 +490,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions, const SolveLimits
         ++restart_idx;
         restart_limit = luby(64, restart_idx);
         restart_base = conflicts_;
+        ++restarts_;
         cancel_until(0);
       }
       if (learnts_.size() >= max_learnts_) {

@@ -99,10 +99,13 @@ class Solver {
 
   bool okay() const { return ok_; }
 
-  // Statistics.
+  // Statistics. Cumulative over the solver's lifetime; per-call deltas are
+  // flushed to the global telemetry counters (src/trace/) when collection is
+  // enabled, one flush per solve() call so the conflict loop stays clean.
   std::uint64_t num_conflicts() const { return conflicts_; }
   std::uint64_t num_decisions() const { return decisions_; }
   std::uint64_t num_propagations() const { return propagations_; }
+  std::uint64_t num_restarts() const { return restarts_; }
 
  private:
   struct Clause {
@@ -152,7 +155,12 @@ class Solver {
   std::uint64_t conflicts_ = 0;
   std::uint64_t decisions_ = 0;
   std::uint64_t propagations_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t db_reductions_ = 0;
+  std::uint64_t learned_clauses_ = 0;
+  std::uint64_t learned_literals_ = 0;
   std::uint64_t max_learnts_ = 8192;
+  bool stats_collect_ = false;  // cached trace::collecting() for the current call
 
   LBool lit_value(Lit p) const {
     LBool v = assigns_[static_cast<std::size_t>(p.var())];
@@ -162,6 +170,7 @@ class Solver {
 
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
 
+  SolveResult solve_internal(const std::vector<Lit>& assumptions, const SolveLimits& limits);
   ClauseRef alloc_clause(const std::vector<Lit>& lits, bool learnt);
   void attach_clause(ClauseRef cref);
   void detach_clause(ClauseRef cref);

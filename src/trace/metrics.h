@@ -1,0 +1,52 @@
+// Versioned metrics.json writer ("pdat-metrics" schema, see
+// docs/telemetry.md and docs/schemas/pdat-metrics.schema.json).
+//
+// The document splits structurally along the determinism contract:
+//   "deterministic" — counters/histograms/pipeline funnel/round table that
+//                     are bit-identical across worker-thread counts;
+//   "timing"        — wall/CPU seconds, peak RSS, and the timing-class
+//                     counters/histograms (worker busy time, queue depth).
+// CI and test_trace diff the "deterministic" subtree across configurations;
+// nothing under "timing" carries any stability guarantee.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pdat::trace {
+
+inline constexpr const char* kMetricsSchemaName = "pdat-metrics";
+inline constexpr int kMetricsSchemaVersion = 1;
+
+struct StageTiming {
+  const char* name;  // PdatStage name as in pdat/errors.h
+  double wall_seconds = 0;
+};
+
+/// Pipeline-level data the global tracer does not see (owned by PdatResult).
+struct MetricsInfo {
+  std::string label;  // free-form run label ("" = unlabeled)
+  // Property-checking funnel.
+  std::uint64_t candidates = 0;
+  std::uint64_t after_sim_filter = 0;
+  std::uint64_t proven = 0;
+  std::uint64_t gates_before = 0;
+  std::uint64_t gates_after = 0;
+  bool degraded = false;
+  int resumed_from_round = -2;  // InductionStats encoding (-2 = fresh run)
+  // Timing section.
+  std::vector<StageTiming> stages;
+  double total_wall_seconds = 0;
+};
+
+/// Serializes the current tracer state + `info` as one metrics.json
+/// document. Every counter/histogram key is taken from the registry, so the
+/// output cannot contain an undocumented name.
+void write_metrics_json(std::ostream& os, const MetricsInfo& info);
+
+/// Process-wide CPU seconds / peak RSS via getrusage (0 when unavailable).
+double process_cpu_seconds();
+std::uint64_t process_peak_rss_bytes();
+
+}  // namespace pdat::trace

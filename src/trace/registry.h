@@ -1,0 +1,37 @@
+// The telemetry registry: one row per span name, counter, and histogram the
+// instrumentation layer can emit. docs/telemetry.md is the human-readable
+// rendering of this table; test_trace cross-checks that every row here is
+// documented there and that metrics.json emits only registered names, so the
+// registry, the docs, and the output can never drift apart silently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace pdat::trace {
+
+enum class MetricKind { Counter, Histogram, Span };
+
+struct MetricDef {
+  MetricKind kind;
+  const char* name;  // dotted, e.g. "sat.conflicts"
+  const char* unit;  // "1" for dimensionless counts
+  /// Bit-identical across worker-thread counts and schedules (given no
+  /// wall-clock job budgets); false for anything derived from real time or
+  /// from which thread ran what.
+  bool deterministic;
+  const char* description;
+};
+
+/// Every metric and span name, in a stable order (counters in enum order,
+/// then histograms in enum order, then spans).
+const std::vector<MetricDef>& telemetry_registry();
+
+const char* counter_name(Counter c);
+const char* histogram_name(Histogram h);
+bool counter_deterministic(Counter c);
+bool histogram_deterministic(Histogram h);
+
+}  // namespace pdat::trace

@@ -1,0 +1,244 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace pdat::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-thread event buffer. Owned by the global tracer (shared_ptr) so the
+/// events of a worker thread that has already exited remain readable; the
+/// thread itself holds only a raw pointer via thread_local.
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::vector<Event> events;
+};
+
+struct Tracer {
+  std::atomic<bool> collecting{false};
+  std::atomic<bool> tracing{false};
+  std::atomic<std::uint32_t> next_tid{0};
+  Clock::time_point epoch{};
+
+  std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+
+  struct Hist {
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::array<Hist, kNumHistograms> hists{};
+
+  std::mutex mu;  // guards buffers + rounds
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::vector<RoundRecord> rounds;
+};
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer* buf = [] {
+    Tracer& t = tracer();
+    auto owned = std::make_shared<ThreadBuffer>();
+    owned->tid = t.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(t.mu);
+    t.buffers.push_back(owned);
+    return owned.get();
+  }();
+  return *buf;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - tracer().epoch)
+          .count());
+}
+
+}  // namespace
+
+bool collecting() { return tracer().collecting.load(std::memory_order_relaxed); }
+bool tracing() { return tracer().tracing.load(std::memory_order_relaxed); }
+
+void begin_run(bool events) {
+  Tracer& t = tracer();
+  t.collecting.store(false, std::memory_order_relaxed);
+  t.tracing.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(t.mu);
+    for (auto& b : t.buffers) b->events.clear();
+    t.rounds.clear();
+  }
+  for (auto& c : t.counters) c.store(0, std::memory_order_relaxed);
+  for (auto& h : t.hists) {
+    for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum.store(0, std::memory_order_relaxed);
+    h.max.store(0, std::memory_order_relaxed);
+  }
+  t.epoch = Clock::now();
+  t.collecting.store(true, std::memory_order_relaxed);
+  if (events) t.tracing.store(true, std::memory_order_relaxed);
+}
+
+void end_run() {
+  Tracer& t = tracer();
+  t.tracing.store(false, std::memory_order_relaxed);
+  t.collecting.store(false, std::memory_order_relaxed);
+}
+
+void add(Counter c, std::uint64_t n) {
+  Tracer& t = tracer();
+  if (!t.collecting.load(std::memory_order_relaxed)) return;
+  t.counters[static_cast<std::size_t>(c)].fetch_add(n, std::memory_order_relaxed);
+}
+
+std::size_t histogram_bucket(std::uint64_t value) {
+  if (value == 0) return 0;
+  std::size_t b = 1;
+  while (b + 1 < kHistogramBuckets && (value >> b) != 0) ++b;
+  return b;
+}
+
+void observe(Histogram h, std::uint64_t value) {
+  Tracer& t = tracer();
+  if (!t.collecting.load(std::memory_order_relaxed)) return;
+  Tracer::Hist& hist = t.hists[static_cast<std::size_t>(h)];
+  hist.buckets[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+  hist.count.fetch_add(1, std::memory_order_relaxed);
+  hist.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t prev = hist.max.load(std::memory_order_relaxed);
+  while (value > prev && !hist.max.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t counter_value(Counter c) {
+  return tracer().counters[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+}
+
+HistogramSnapshot histogram_snapshot(Histogram h) {
+  const Tracer::Hist& hist = tracer().hists[static_cast<std::size_t>(h)];
+  HistogramSnapshot s;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    s.buckets[i] = hist.buckets[i].load(std::memory_order_relaxed);
+  }
+  s.count = hist.count.load(std::memory_order_relaxed);
+  s.sum = hist.sum.load(std::memory_order_relaxed);
+  s.max = hist.max.load(std::memory_order_relaxed);
+  return s;
+}
+
+void record_round(const RoundRecord& r) {
+  Tracer& t = tracer();
+  if (!t.collecting.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.rounds.push_back(r);
+}
+
+std::vector<RoundRecord> round_records() {
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.rounds;
+}
+
+// --- spans -------------------------------------------------------------------
+
+Span::Span(const char* name) {
+  if (!trace::tracing()) return;
+  active_ = true;
+  name_ = name;
+  start_us_ = now_us();
+}
+
+Span::Span(const char* name, SpanArg a) : Span(name) {
+  if (active_) args_[num_args_++] = a;
+}
+
+Span::Span(const char* name, SpanArg a, SpanArg b) : Span(name, a) {
+  if (active_) args_[num_args_++] = b;
+}
+
+Span::Span(const char* name, SpanArg a, SpanArg b, SpanArg c) : Span(name, a, b) {
+  if (active_) args_[num_args_++] = c;
+}
+
+void Span::arg(const char* key, std::int64_t value) {
+  if (!active_ || num_args_ >= kMaxArgs) return;
+  args_[num_args_++] = SpanArg{key, value};
+}
+
+Span::~Span() {
+  if (!active_) return;
+  ThreadBuffer& buf = thread_buffer();
+  Event e;
+  e.name = name_;
+  e.tid = buf.tid;
+  e.ts_us = start_us_;
+  e.dur_us = now_us() - start_us_;
+  e.args = args_;
+  e.num_args = num_args_;
+  buf.events.push_back(e);
+}
+
+std::vector<Event> events() {
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  std::vector<Event> out;
+  for (const auto& b : t.buffers) {
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  return out;
+}
+
+std::vector<std::string> normalized_events() {
+  std::vector<std::string> out;
+  for (const Event& e : events()) {
+    std::ostringstream os;
+    os << e.name;
+    for (std::size_t i = 0; i < e.num_args; ++i) {
+      // "threads" is configuration identity, not proof behavior; erasing it
+      // keeps normalized traces comparable across --threads values.
+      if (std::string_view(e.args[i].key) == "threads") continue;
+      os << " " << e.args[i].key << "=" << e.args[i].value;
+    }
+    out.push_back(os.str());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os) {
+  std::vector<Event> evs = events();
+  std::stable_sort(evs.begin(), evs.end(), [](const Event& a, const Event& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.dur_us > b.dur_us;  // parents before children at equal start
+  });
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : evs) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << e.name << "\",\"cat\":\"pdat\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << e.tid << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << ",\"args\":{";
+    for (std::size_t i = 0; i < e.num_args; ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << e.args[i].key << "\":" << e.args[i].value;
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace pdat::trace
