@@ -24,6 +24,14 @@
 //   --metrics[=PATH] write the versioned "pdat-metrics" document (solver /
 //                   induction / runtime counters, per-stage timings; default
 //                   metrics.json) — schema in docs/telemetry.md
+//   --proof-cache=PATH  persist proof-job outcomes in a content-addressed
+//                   cache; a warm rerun replays them instead of solving.
+//                   Results (and --report files) are byte-identical with the
+//                   cache on, off, cold, or warm
+//   --no-coi        solve whole-netlist proof obligations instead of
+//                   cone-of-influence localized ones (localization is on by
+//                   default and kill-for-kill identical; this flag exists
+//                   for differential debugging and timing comparisons)
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -83,6 +91,8 @@ void write_report(std::ostream& os, const std::string& subset_name, const PdatRe
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
   std::string journal_path, resume_path, report_path, trace_path, metrics_path;
+  std::string proof_cache_path;
+  bool coi = true;
   int threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,6 +112,10 @@ int main(int argc, char** argv) {
       metrics_path = "metrics.json";
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_path = arg.substr(10);
+    } else if (arg.rfind("--proof-cache=", 0) == 0) {
+      proof_cache_path = arg.substr(14);
+    } else if (arg == "--no-coi") {
+      coi = false;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
@@ -128,6 +142,8 @@ int main(int argc, char** argv) {
   opt.resume_from = resume_path;
   opt.trace_path = trace_path;
   opt.metrics_path = metrics_path;
+  opt.coi_localize = coi;
+  opt.proof_cache_path = proof_cache_path;
   opt.run_label = "reduce_ibex:" + subset_name;
 
   const auto instr_q = core.instr_reg_q;

@@ -4,6 +4,7 @@
 
 #include "base/log.h"
 #include "formal/cnf_encoder.h"
+#include "formal/coi.h"
 #include "trace/trace.h"
 
 namespace pdat {
@@ -23,14 +24,14 @@ void arm_deadline(sat::Solver& s, double deadline_seconds) {
                      std::chrono::duration<double>(deadline_seconds)));
 }
 
-}  // namespace
-
-BmcResult bmc_check(const Netlist& nl, const Environment& env, const GateProperty& prop,
-                    int depth, std::int64_t conflict_budget, double deadline_seconds) {
+/// Unrolls `depth` frames with `enc` (whole-netlist FrameEncoder or
+/// cone-restricted ConeEncoder — both expose encode/link/fix_initial and
+/// yield Frames addressed by global NetId) and checks `prop` at each frame.
+template <typename Encoder>
+BmcResult bmc_frames(const Encoder& enc, const std::vector<NetId>& assumes,
+                     const GateProperty& prop, int depth, std::int64_t conflict_budget,
+                     double deadline_seconds, trace::Span& span) {
   BmcResult res;
-  trace::Span span("bmc.check", {"depth", depth});
-  trace::add(trace::Counter::BmcChecks, 1);
-  FrameEncoder enc(nl);
   sat::Solver s;
   arm_deadline(s, deadline_seconds);
   std::vector<Frame> frames;
@@ -41,7 +42,7 @@ BmcResult bmc_check(const Netlist& nl, const Environment& env, const GatePropert
     } else {
       enc.link(s, frames[static_cast<std::size_t>(t - 1)], frames[static_cast<std::size_t>(t)]);
     }
-    for (NetId a : env.assumes) s.add_clause(frames.back().lit(a, true));
+    for (NetId a : assumes) s.add_clause(frames.back().lit(a, true));
   }
   for (int t = 0; t < depth; ++t) {
     const Frame& f = frames[static_cast<std::size_t>(t)];
@@ -71,6 +72,91 @@ BmcResult bmc_check(const Netlist& nl, const Environment& env, const GatePropert
     }
     if (r == SolveResult::Unknown) res.inconclusive = true;
   }
+  return res;
+}
+
+std::string encode_bmc_verdict(const BmcResult& r) {
+  // Conclusive verdicts only: violated flag + biased frame, little-endian.
+  std::string out;
+  const std::uint32_t v[2] = {r.violated ? 1u : 0u,
+                              static_cast<std::uint32_t>(r.violation_frame + 1)};
+  for (const std::uint32_t w : v)
+    for (int i = 0; i < 32; i += 8) out.push_back(static_cast<char>(w >> i));
+  return out;
+}
+
+std::optional<BmcResult> decode_bmc_verdict(const std::string& p) {
+  if (p.size() != 8) return std::nullopt;  // key collision or format drift
+  const auto rd = [&p](std::size_t at) {
+    std::uint32_t w = 0;
+    for (int i = 0; i < 4; ++i)
+      w |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[at + i])) << (8 * i);
+    return w;
+  };
+  BmcResult res;
+  res.violated = rd(0) != 0;
+  res.violation_frame = static_cast<int>(rd(4)) - 1;
+  if (res.violated != (res.violation_frame >= 0)) return std::nullopt;
+  return res;
+}
+
+}  // namespace
+
+BmcResult bmc_check(const Netlist& nl, const Environment& env, const GateProperty& prop,
+                    int depth, std::int64_t conflict_budget, double deadline_seconds) {
+  BmcCheckOptions opt;
+  opt.depth = depth;
+  opt.conflict_budget = conflict_budget;
+  opt.deadline_seconds = deadline_seconds;
+  return bmc_check(nl, env, prop, opt);
+}
+
+BmcResult bmc_check(const Netlist& nl, const Environment& env, const GateProperty& prop,
+                    const BmcCheckOptions& opt) {
+  trace::Span span("bmc.check", {"depth", opt.depth});
+  trace::add(trace::Counter::BmcChecks, 1);
+
+  if (!opt.coi_localize) {
+    FrameEncoder enc(nl);
+    return bmc_frames(enc, env.assumes, prop, opt.depth, opt.conflict_budget,
+                      opt.deadline_seconds, span);
+  }
+
+  // A single-candidate partition always yields exactly one cone (assume-only
+  // components are dropped by partition_cones).
+  const Levelization lv = levelize(nl);
+  const std::vector<GateProperty> cands{prop};
+  const ConePartition part =
+      partition_cones(nl, lv, cands, std::vector<bool>{true}, env.assumes);
+  const Cone& cone = part.cones.front();
+  span.arg("cone_nets", static_cast<int>(cone.nets.size()));
+
+  CacheKey key{};
+  if (opt.cache != nullptr) {
+    Fnv128 h;
+    h.str("pdat-bmc-v1");
+    const CacheKey fp = cone_fingerprint(nl, cone, cands);
+    h.u64(fp.lo);
+    h.u64(fp.hi);
+    h.u32(static_cast<std::uint32_t>(opt.depth));
+    h.u64(static_cast<std::uint64_t>(opt.conflict_budget));
+    key = h.digest();
+    if (const auto payload = opt.cache->lookup(key)) {
+      if (const auto cached = decode_bmc_verdict(*payload)) {
+        if (cached->violated) span.arg("violation_frame", cached->violation_frame);
+        span.arg("cache", 1);
+        return *cached;
+      }
+      // Undecodable payload: fall through to a real solve.
+    }
+  }
+
+  const ConeEncoder enc(nl, cone);
+  const BmcResult res = bmc_frames(enc, cone.assumes, prop, opt.depth, opt.conflict_budget,
+                                   opt.deadline_seconds, span);
+  // Only conclusive, deadline-free verdicts are content, not circumstance.
+  if (opt.cache != nullptr && !res.inconclusive && opt.deadline_seconds <= 0)
+    opt.cache->insert(key, encode_bmc_verdict(res));
   return res;
 }
 

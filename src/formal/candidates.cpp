@@ -113,7 +113,11 @@ std::vector<GateProperty> equivalence_candidates(const Netlist& nl, const Enviro
   std::unordered_map<std::uint64_t, std::vector<NetId>> classes;
   for (NetId n : nets) classes[sig[n]].push_back(n);
 
-  std::vector<GateProperty> out;
+  // Canonical emission order: classes sorted by representative net, members
+  // by (level, id). unordered_map iteration order is implementation-defined;
+  // the candidate list must be byte-identical for a given seed on any
+  // standard library (it feeds proof batching, journals, and cache keys).
+  std::vector<std::vector<NetId>*> ordered;
   std::uint64_t used_classes = 0;
   for (auto& [key, members] : classes) {
     if (members.size() < 2 || members.size() > opt.max_class_size) continue;
@@ -124,6 +128,16 @@ std::vector<GateProperty> equivalence_candidates(const Netlist& nl, const Enviro
       if (lv.net_level[x] != lv.net_level[y]) return lv.net_level[x] < lv.net_level[y];
       return x < y;
     });
+    ordered.push_back(&members);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const std::vector<NetId>* x, const std::vector<NetId>* y) {
+              return x->front() < y->front();
+            });
+
+  std::vector<GateProperty> out;
+  for (const std::vector<NetId>* cls : ordered) {
+    const std::vector<NetId>& members = *cls;
     const NetId rep = members.front();
     for (std::size_t i = 1; i < members.size(); ++i) {
       GateProperty p;

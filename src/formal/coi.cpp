@@ -1,0 +1,260 @@
+#include "formal/coi.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pdat {
+namespace {
+
+constexpr std::uint32_t kNoGroup = 0xffffffffu;
+
+// Tiny union-find over group ids (path-halving, union by arbitrary root).
+struct UnionFind {
+  std::vector<std::uint32_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) parent[i] = static_cast<std::uint32_t>(i);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[b] = a;
+  }
+};
+
+void seed_nets_of(const GateProperty& p, std::vector<NetId>& out) {
+  out.clear();
+  switch (p.kind) {
+    case PropKind::Const0:
+    case PropKind::Const1:
+      out.push_back(p.target);
+      break;
+    case PropKind::Implies:
+    case PropKind::Equiv:
+      out.push_back(p.a);
+      out.push_back(p.b);
+      break;
+  }
+}
+
+}  // namespace
+
+ConePartition partition_cones(const Netlist& nl, const Levelization& lv,
+                              const std::vector<GateProperty>& cands,
+                              const std::vector<bool>& alive,
+                              const std::vector<NetId>& assumes) {
+  std::vector<std::uint32_t> alive_idx;
+  for (std::uint32_t i = 0; i < cands.size(); ++i) {
+    if (alive[i]) alive_idx.push_back(i);
+  }
+
+  const std::size_t n_groups = alive_idx.size() + assumes.size();
+  UnionFind uf(n_groups);
+  // owner[n] = first group whose fan-in closure reached net n. The BFS
+  // prunes at already-owned nets after uniting the groups: the deeper
+  // fan-in was fully expanded by the owning group, so each net is expanded
+  // at most once globally and the whole partition is O(nets + cells).
+  std::vector<std::uint32_t> owner(nl.num_nets(), kNoGroup);
+
+  std::vector<NetId> stack;
+  const auto sweep = [&](NetId seed, std::uint32_t group) {
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      const NetId n = stack.back();
+      stack.pop_back();
+      if (owner[n] != kNoGroup) {
+        uf.unite(group, owner[n]);
+        continue;
+      }
+      owner[n] = group;
+      const CellId d = nl.driver(n);
+      if (d == kNoCell) continue;  // primary input / cut net / floating
+      const Cell& c = nl.cell(d);
+      for (const NetId in : c.in) {
+        if (in != kNoNet) stack.push_back(in);
+      }
+    }
+  };
+
+  std::vector<NetId> seeds;
+  for (std::uint32_t g = 0; g < alive_idx.size(); ++g) {
+    seed_nets_of(cands[alive_idx[g]], seeds);
+    for (const NetId s : seeds) sweep(s, g);
+  }
+  for (std::uint32_t a = 0; a < assumes.size(); ++a) {
+    sweep(assumes[a], static_cast<std::uint32_t>(alive_idx.size() + a));
+  }
+
+  // Components that contain at least one candidate become cones, ordered by
+  // their smallest candidate index (the iteration order below).
+  ConePartition part;
+  std::vector<std::uint32_t> cone_of_root(n_groups, kNoGroup);
+  for (std::uint32_t g = 0; g < alive_idx.size(); ++g) {
+    const std::uint32_t root = uf.find(g);
+    if (cone_of_root[root] == kNoGroup) {
+      cone_of_root[root] = static_cast<std::uint32_t>(part.cones.size());
+      part.cones.emplace_back();
+    }
+    part.cones[cone_of_root[root]].candidates.push_back(alive_idx[g]);
+  }
+  for (std::uint32_t a = 0; a < assumes.size(); ++a) {
+    const std::uint32_t root = uf.find(static_cast<std::uint32_t>(alive_idx.size() + a));
+    // Assume-only components carry no candidate to check; their constraints
+    // factor out of every localized query (environment vacuity is checked
+    // separately by env_satisfiable), so they are dropped.
+    if (cone_of_root[root] != kNoGroup) {
+      part.cones[cone_of_root[root]].assumes.push_back(assumes[a]);
+    }
+  }
+  for (Cone& c : part.cones) {
+    std::sort(c.assumes.begin(), c.assumes.end());
+    c.assumes.erase(std::unique(c.assumes.begin(), c.assumes.end()), c.assumes.end());
+  }
+
+  // Distribute nets (ascending) and cells (topological / flop-list order).
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (owner[n] == kNoGroup) continue;
+    const std::uint32_t cone = cone_of_root[uf.find(owner[n])];
+    if (cone != kNoGroup) part.cones[cone].nets.push_back(n);
+  }
+  const auto cone_of_net = [&](NetId n) -> std::uint32_t {
+    return owner[n] == kNoGroup ? kNoGroup : cone_of_root[uf.find(owner[n])];
+  };
+  for (const CellId id : lv.comb_order) {
+    const std::uint32_t cone = cone_of_net(nl.cell(id).out);
+    if (cone != kNoGroup) part.cones[cone].comb.push_back(id);
+  }
+  for (const CellId id : lv.flops) {
+    const std::uint32_t cone = cone_of_net(nl.cell(id).out);
+    if (cone != kNoGroup) part.cones[cone].flops.push_back(id);
+  }
+  for (const Cone& c : part.cones) {
+    part.total_cone_cells += c.comb.size() + c.flops.size();
+  }
+  return part;
+}
+
+CacheKey cone_fingerprint(const Netlist& nl, const Cone& cone,
+                          const std::vector<GateProperty>& cands) {
+  // Canonical renumbering: BFS over driver inputs from the semantic seeds
+  // (candidate property nets in candidate order, then assume nets). Every
+  // cone net is reachable from those seeds by construction, and the visit
+  // order depends only on cone structure — not on absolute NetId values —
+  // so isomorphic cones digest identically across rounds and runs.
+  std::vector<std::uint32_t> canon(nl.num_nets(), kNoGroup);
+  std::vector<NetId> order;
+  order.reserve(cone.nets.size());
+  const auto assign = [&](NetId n) {
+    if (canon[n] == kNoGroup) {
+      canon[n] = static_cast<std::uint32_t>(order.size());
+      order.push_back(n);
+    }
+  };
+  std::vector<NetId> seeds;
+  for (const std::uint32_t ci : cone.candidates) {
+    seed_nets_of(cands[ci], seeds);
+    for (const NetId s : seeds) assign(s);
+  }
+  for (const NetId a : cone.assumes) assign(a);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const CellId d = nl.driver(order[i]);
+    if (d == kNoCell) continue;
+    for (const NetId in : nl.cell(d).in) {
+      if (in != kNoNet) assign(in);
+    }
+  }
+
+  Fnv128 h;
+  h.str("pdat-cone-v1");
+  h.u64(order.size());
+  for (const NetId n : order) {
+    const CellId d = nl.driver(n);
+    if (d == kNoCell) {
+      h.u8(0xFF);  // free net: primary input, cut net, or floating
+      continue;
+    }
+    const Cell& c = nl.cell(d);
+    h.u8(static_cast<std::uint8_t>(c.kind));
+    h.u8(static_cast<std::uint8_t>(c.init));
+    for (const NetId in : c.in) h.u32(in == kNoNet ? kNoGroup : canon[in]);
+  }
+  h.u64(cone.assumes.size());
+  for (const NetId a : cone.assumes) h.u32(canon[a]);
+  h.u64(cone.candidates.size());
+  for (const std::uint32_t ci : cone.candidates) {
+    const GateProperty& p = cands[ci];
+    h.u8(static_cast<std::uint8_t>(p.kind));
+    h.u32(p.target == kNoNet ? kNoGroup : canon[p.target]);
+    h.u32(p.a == kNoNet ? kNoGroup : canon[p.a]);
+    h.u32(p.b == kNoNet ? kNoGroup : canon[p.b]);
+  }
+  return h.digest();
+}
+
+Frame ConeEncoder::encode(sat::Solver& s) const {
+  Frame f;
+  f.net_var.assign(nl_.num_nets(), -1);
+  for (const NetId n : cone_.nets) f.net_var[n] = s.new_var();
+  for (const CellId id : cone_.comb) {
+    const Cell& c = nl_.cell(id);
+    const sat::Lit out = f.lit(c.out);
+    const sat::Lit a = c.in[0] == kNoNet ? sat::Lit() : f.lit(c.in[0]);
+    const sat::Lit b = c.in[1] == kNoNet ? sat::Lit() : f.lit(c.in[1]);
+    const sat::Lit d = c.in[2] == kNoNet ? sat::Lit() : f.lit(c.in[2]);
+    encode_cell_cnf(s, c.kind, out, a, b, d);
+  }
+  return f;
+}
+
+void ConeEncoder::link(sat::Solver& s, const Frame& prev, const Frame& next) const {
+  for (const CellId id : cone_.flops) {
+    const Cell& c = nl_.cell(id);
+    const sat::Lit q_next = next.lit(c.out);
+    const sat::Lit d_prev = prev.lit(c.in[0]);
+    s.add_clause(~q_next, d_prev);
+    s.add_clause(q_next, ~d_prev);
+  }
+}
+
+void ConeEncoder::fix_initial(sat::Solver& s, const Frame& f) const {
+  for (const CellId id : cone_.flops) {
+    const Cell& c = nl_.cell(id);
+    if (c.init == Tri::X) continue;
+    s.add_clause(f.lit(c.out, c.init == Tri::T));
+  }
+}
+
+void hash_netlist(Fnv128& h, const Netlist& nl) {
+  h.str("pdat-netlist-v1");
+  h.u64(nl.num_nets());
+  h.u64(nl.num_cells_raw());
+  for (CellId id = 0; id < nl.num_cells_raw(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.dead) {
+      h.u8(0xFE);
+      continue;
+    }
+    h.u8(static_cast<std::uint8_t>(c.kind));
+    h.u8(static_cast<std::uint8_t>(c.init));
+    for (const NetId in : c.in) h.u32(in);
+    h.u32(c.out);
+  }
+  const auto hash_ports = [&h](const std::vector<Port>& ports) {
+    h.u64(ports.size());
+    for (const Port& p : ports) {
+      h.str(p.name);
+      h.u64(p.bits.size());
+      for (const NetId n : p.bits) h.u32(n);
+    }
+  };
+  hash_ports(nl.inputs());
+  hash_ports(nl.outputs());
+}
+
+}  // namespace pdat

@@ -1,0 +1,204 @@
+#include "formal/proofcache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace pdat {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'D', 'A', 'T', 'P', 'C', '0', '1'};
+constexpr std::uint32_t kVersion = 1;
+// magic + version.
+constexpr std::uint64_t kFileHeaderBytes = 8 + 4;
+// key_lo + key_hi + payload_len + checksum.
+constexpr std::uint64_t kRecordHeaderBytes = 8 + 8 + 4 + 8;
+// A single record larger than this is not something the engine ever writes;
+// treat it as corruption rather than attempting a huge allocation.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+std::uint64_t record_checksum(const CacheKey& k, const std::string& payload) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](unsigned char c) { h = (h ^ c) * 0x100000001b3ULL; };
+  for (int i = 0; i < 64; i += 8) mix(static_cast<unsigned char>(k.lo >> i));
+  for (int i = 0; i < 64; i += 8) mix(static_cast<unsigned char>(k.hi >> i));
+  for (const char c : payload) mix(static_cast<unsigned char>(c));
+  return h;
+}
+
+std::uint32_t rd_u32(const std::string& s, std::size_t pos) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(s[pos])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[pos + 1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[pos + 2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[pos + 3])) << 24;
+}
+
+std::uint64_t rd_u64(const std::string& s, std::size_t pos) {
+  return static_cast<std::uint64_t>(rd_u32(s, pos)) |
+         static_cast<std::uint64_t>(rd_u32(s, pos + 4)) << 32;
+}
+
+void wr_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v));
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v >> 16));
+  out.push_back(static_cast<char>(v >> 24));
+}
+
+void wr_u64(std::string& out, std::uint64_t v) {
+  wr_u32(out, static_cast<std::uint32_t>(v));
+  wr_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::string encode_record(const CacheKey& k, const std::string& payload) {
+  std::string rec;
+  rec.reserve(kRecordHeaderBytes + payload.size());
+  wr_u64(rec, k.lo);
+  wr_u64(rec, k.hi);
+  wr_u32(rec, static_cast<std::uint32_t>(payload.size()));
+  wr_u64(rec, record_checksum(k, payload));
+  rec += payload;
+  return rec;
+}
+
+}  // namespace
+
+ProofCache::ProofCache(std::string path) : path_(std::move(path)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  load_locked();
+}
+
+ProofCache::~ProofCache() { flush(); }
+
+void ProofCache::load_locked() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;  // missing file: empty cache, nothing to warn about
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  if (data.size() < kFileHeaderBytes ||
+      data.compare(0, 8, kMagic, 8) != 0 || rd_u32(data, 8) != kVersion) {
+    std::fprintf(stderr,
+                 "pdat: proof cache %s has an unrecognized header; "
+                 "starting empty (the file will be rewritten)\n",
+                 path_.c_str());
+    stats_.rejected_file = true;
+    rewrite_on_flush_ = true;
+    valid_bytes_ = 0;
+    return;
+  }
+
+  std::size_t pos = kFileHeaderBytes;
+  while (true) {
+    if (data.size() - pos < kRecordHeaderBytes) break;
+    CacheKey k{rd_u64(data, pos), rd_u64(data, pos + 8)};
+    const std::uint32_t len = rd_u32(data, pos + 16);
+    const std::uint64_t sum = rd_u64(data, pos + 20);
+    if (len > kMaxPayloadBytes) break;
+    if (data.size() - pos - kRecordHeaderBytes < len) break;  // torn tail
+    std::string payload = data.substr(pos + kRecordHeaderBytes, len);
+    if (record_checksum(k, payload) != sum) break;  // bit rot / torn write
+    map_.emplace(k, std::move(payload));
+    ++stats_.loaded;
+    pos += kRecordHeaderBytes + len;
+  }
+  valid_bytes_ = pos;
+  stats_.rejected_tail_bytes = data.size() - pos;
+  if (stats_.rejected_tail_bytes != 0) {
+    std::fprintf(stderr,
+                 "pdat: proof cache %s: dropping %llu corrupt byte(s) past "
+                 "the last valid record\n",
+                 path_.c_str(),
+                 static_cast<unsigned long long>(stats_.rejected_tail_bytes));
+  }
+}
+
+std::optional<std::string> ProofCache::lookup(const CacheKey& k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(k);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+bool ProofCache::insert(const CacheKey& k, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = map_.emplace(k, std::move(payload));
+  (void)it;
+  if (!inserted) return false;
+  ++stats_.stores;
+  unsaved_.push_back(k);
+  return true;
+}
+
+void ProofCache::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void ProofCache::flush_locked() {
+  if (path_.empty()) return;
+  if (!rewrite_on_flush_ && unsaved_.empty()) return;
+
+  std::error_code ec;
+  if (rewrite_on_flush_) {
+    // Alien or pre-existing-corrupt file: replace wholesale with every
+    // in-memory entry.
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(kMagic, 8);
+    std::string hdr;
+    wr_u32(hdr, kVersion);
+    out.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+    valid_bytes_ = kFileHeaderBytes;
+    for (const auto& [k, payload] : map_) {
+      const std::string rec = encode_record(k, payload);
+      out.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+      valid_bytes_ += rec.size();
+    }
+    out.flush();
+    rewrite_on_flush_ = !out.good();
+    unsaved_.clear();
+    return;
+  }
+
+  if (valid_bytes_ == 0 || !std::filesystem::exists(path_, ec)) {
+    // Fresh (or deleted-from-under-us) file: header first, then rewrite
+    // everything we know rather than appending into the void.
+    rewrite_on_flush_ = true;
+    flush_locked();
+    return;
+  }
+  // Drop any torn tail so appended records land on a valid boundary.
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (!ec && size > valid_bytes_) std::filesystem::resize_file(path_, valid_bytes_, ec);
+
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) return;
+  for (const CacheKey& k : unsaved_) {
+    const auto it = map_.find(k);
+    const std::string rec = encode_record(k, it->second);
+    out.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+    if (!out.good()) return;  // keep unsaved_ so a later flush can retry
+    valid_bytes_ += rec.size();
+  }
+  out.flush();
+  if (out.good()) unsaved_.clear();
+}
+
+ProofCacheStats ProofCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ProofCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace pdat

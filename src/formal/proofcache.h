@@ -1,0 +1,144 @@
+// Content-addressed proof cache: persistent memoization of proof-job
+// outcomes keyed by a 128-bit content hash (ISSUE 4, DESIGN.md §5.9).
+//
+// The cache never interprets its keys: callers (induction, bmc) hash
+// *everything the cached computation depends on* — canonical cone
+// fingerprint or whole-netlist fingerprint, environment-restriction hash,
+// candidate descriptors, phase, budgets — into a CacheKey, and the payload
+// is an opaque byte string encoded by the same caller. A hit therefore
+// replays a byte-identical outcome of the exact same computation; a
+// mismatch in any input yields a different key and a miss, never a stale
+// verdict. Collision probability at 128 bits is negligible for any
+// realistic number of entries.
+//
+// On-disk format (versioned, checksummed, corruption-tolerant):
+//
+//   file   := magic("PDATPC01") version(u32) record*
+//   record := key_lo(u64) key_hi(u64) payload_len(u32) checksum(u64) payload
+//
+// The checksum is FNV-1a over key and payload. Loading accepts the longest
+// valid record prefix: a short header, a payload running past end-of-file,
+// or a checksum mismatch ends the load at the previous record boundary.
+// A missing file is an empty cache; a wrong magic or version loads as
+// empty-with-warning and the file is rewritten from scratch on the next
+// flush. Corruption can only ever cost entries — it is never fatal and
+// never surfaces a wrong payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pdat {
+
+/// 128-bit content-hash key.
+struct CacheKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    // lo/hi are already uniform FNV digests; fold them.
+    return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Two independent FNV-1a streams feeding a CacheKey. Plain value type:
+/// hash the shared prefix once, copy, and append per-job fields.
+class Fnv128 {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_ = (a_ ^ p[i]) * 0x100000001b3ULL;
+      b_ = (b_ ^ p[i]) * 0x00000100000001b3ULL ^ 0x9e3779b97f4a7c15ULL;
+      b_ = (b_ << 13) | (b_ >> 51);
+    }
+  }
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+  void u32(std::uint32_t v) {
+    const unsigned char p[4] = {static_cast<unsigned char>(v),
+                                static_cast<unsigned char>(v >> 8),
+                                static_cast<unsigned char>(v >> 16),
+                                static_cast<unsigned char>(v >> 24)};
+    bytes(p, 4);
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  CacheKey digest() const { return {a_, b_}; }
+
+ private:
+  std::uint64_t a_ = 0xcbf29ce484222325ULL;
+  std::uint64_t b_ = 0x84222325cbf29ce4ULL;
+};
+
+struct ProofCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;       // inserts of keys not already present
+  std::uint64_t loaded = 0;       // records accepted from disk at open
+  std::uint64_t rejected_tail_bytes = 0;  // torn/corrupt bytes past the prefix
+  bool rejected_file = false;     // bad magic/version: loaded as empty
+};
+
+/// Thread-safe persistent key → payload store. All members are safe to call
+/// concurrently; disk I/O happens only in the constructor and in flush().
+class ProofCache {
+ public:
+  /// In-memory only (no backing file).
+  ProofCache() = default;
+  /// Opens `path`, loading the longest valid record prefix. Missing file =
+  /// empty cache. Bad magic/version = empty cache, warning on stderr, and
+  /// the file is recreated on flush().
+  explicit ProofCache(std::string path);
+  ~ProofCache();
+
+  ProofCache(const ProofCache&) = delete;
+  ProofCache& operator=(const ProofCache&) = delete;
+
+  /// Returns the payload for `k`, counting a hit or miss.
+  std::optional<std::string> lookup(const CacheKey& k);
+  /// Records `payload` under `k`. First insert wins; re-inserting an
+  /// existing key is a no-op (outcomes for one key are identical by
+  /// construction, so there is nothing to reconcile). Returns whether the
+  /// key was newly stored.
+  bool insert(const CacheKey& k, std::string payload);
+
+  /// Appends records added since the last flush (truncating any torn tail
+  /// first so the file never holds garbage between valid records). When the
+  /// file was rejected at open, rewrites it from scratch. No-op for
+  /// in-memory caches. Safe to call repeatedly; also called by the dtor.
+  void flush();
+
+  ProofCacheStats stats() const;
+  std::size_t size() const;
+
+ private:
+  void load_locked();
+  void flush_locked();
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::unordered_map<CacheKey, std::string, CacheKeyHash> map_;
+  std::vector<CacheKey> unsaved_;  // insertion order, for append-on-flush
+  std::uint64_t valid_bytes_ = 0;  // truncation point for appends
+  bool rewrite_on_flush_ = false;  // bad magic/version: start the file over
+  ProofCacheStats stats_;
+};
+
+}  // namespace pdat

@@ -47,6 +47,16 @@ struct PdatOptions {
   /// unless those are already set explicitly.
   std::string checkpoint_journal;
   std::string resume_from;
+  /// Cone-of-influence proof localization and the content-addressed proof
+  /// cache (src/formal/coi.h, src/formal/proofcache.h). Both forward into
+  /// `induction.coi_localize` / `induction.proof_cache_path` unless those
+  /// are already set explicitly; the pipeline also derives
+  /// `induction.env_fingerprint` from the analysis netlist, the assume
+  /// nets, the cutpoints, and the stimulus drivers' owned nets so cache
+  /// entries never outlive the environment restriction they were proved
+  /// under. Results are bit-identical with the cache on, off, cold or warm.
+  bool coi_localize = false;
+  std::string proof_cache_path;
   /// Observability (src/trace/, docs/telemetry.md). When `trace_path` is
   /// set, the run records hierarchical spans and writes a Chrome-trace/
   /// Perfetto JSON there; when `metrics_path` is set, it writes a versioned

@@ -73,6 +73,16 @@ enum class Counter : unsigned {
   InductionCexReplayCycles,
   InductionCexKills,
   InductionBudgetKills,
+  InductionSolveMicrosGlobal,
+  InductionSolveMicrosLocalized,
+  // Cone-of-influence localization.
+  CoiPartitions,
+  CoiCones,
+  CoiConeCandidates,
+  // Content-addressed proof cache.
+  ProofCacheHits,
+  ProofCacheMisses,
+  ProofCacheStores,
   // Supervised proof runtime.
   RuntimeJobsDispatched,
   RuntimeJobAttempts,
@@ -92,6 +102,7 @@ enum class Histogram : unsigned {
   RuntimeQueueDepth,
   RuntimeAttemptsPerJob,
   InductionRoundKills,
+  CoiConeCells,
   kCount,
 };
 inline constexpr std::size_t kNumHistograms = static_cast<std::size_t>(Histogram::kCount);

@@ -382,6 +382,50 @@ TEST(Bmc, EnvironmentBlocksViolation) {
   EXPECT_TRUE(bmc_check(nl, free_env, const0(r.q[0]), 8).violated);
 }
 
+// --- candidate-generation determinism ----------------------------------------
+
+TEST(Candidates, EquivalenceCandidatesAreCanonicalForASeed) {
+  // The candidate list feeds proof batching, checkpoint journals, and proof-
+  // cache keys: for one seed it must be byte-identical on every run and
+  // independent of hash-container iteration order. The canonical order is
+  // classes ascending by representative net, members by (level, id).
+  for (const std::uint64_t seed : {7ULL, 21ULL, 63ULL}) {
+    Netlist nl = test::random_netlist(seed, 6, 90, 10, 4);
+    Environment env;
+    EquivCandidateOptions opt;
+    opt.sim.seed = seed;
+    const auto first = equivalence_candidates(nl, env, opt);
+    const auto second = equivalence_candidates(nl, env, opt);
+    ASSERT_EQ(first.size(), second.size()) << "seed " << seed;
+    NetId prev_rep = 0;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].describe(), second[i].describe()) << "seed " << seed << " at " << i;
+      EXPECT_GE(first[i].a, prev_rep) << "class order must ascend by representative";
+      prev_rep = first[i].a;
+    }
+  }
+}
+
+TEST(Candidates, ProofOfEquivalenceListIdenticalAcrossThreadCounts) {
+  Netlist nl = test::random_netlist(11, 6, 90, 10, 4);
+  Environment env;
+  EquivCandidateOptions copt;
+  copt.sim.seed = 11;
+  const auto cands = equivalence_candidates(nl, env, copt);
+  ASSERT_FALSE(cands.empty());
+  std::vector<std::string> reference;
+  for (const int threads : {1, 2, 5}) {
+    InductionOptions opt;
+    opt.threads = threads;
+    std::vector<std::string> proven;
+    for (const auto& p : prove_invariants(nl, env, cands, opt)) proven.push_back(p.describe());
+    if (threads == 1)
+      reference = proven;
+    else
+      EXPECT_EQ(reference, proven) << "threads=" << threads;
+  }
+}
+
 TEST(Bmc, EnvSatisfiableDetectsVacuous) {
   Netlist nl;
   synth::Builder b(nl);

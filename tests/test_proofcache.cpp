@@ -1,0 +1,224 @@
+// Property-based tests for the proof-cache on-disk format (ISSUE 4):
+// truncated, bit-flipped, or version-bumped files must load as
+// empty-with-warning (or a shorter valid prefix) — never crash, never
+// surface a stale or corrupted payload. Mirrors the journal-corruption
+// tests in test_runtime.cpp.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "formal/proofcache.h"
+
+namespace pdat {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("pdat_proofcache_" + name)).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+CacheKey key_of(std::uint64_t i) {
+  Fnv128 h;
+  h.str("test-key");
+  h.u64(i);
+  return h.digest();
+}
+
+std::string payload_of(std::uint64_t i) {
+  return "payload-" + std::to_string(i) + std::string(i % 7, '#');
+}
+
+/// Writes a cache with n entries and returns its path.
+std::string build_cache(const std::string& name, std::uint64_t n) {
+  const std::string path = tmp_path(name);
+  std::filesystem::remove(path);
+  {
+    ProofCache pc(path);
+    for (std::uint64_t i = 0; i < n; ++i) EXPECT_TRUE(pc.insert(key_of(i), payload_of(i)));
+    pc.flush();
+  }
+  return path;
+}
+
+TEST(ProofCache, RoundTripsEntriesAcrossReopen) {
+  const std::string path = build_cache("roundtrip.pdatpc", 10);
+  ProofCache pc(path);
+  EXPECT_EQ(pc.size(), 10u);
+  EXPECT_EQ(pc.stats().loaded, 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto p = pc.lookup(key_of(i));
+    ASSERT_TRUE(p.has_value()) << "entry " << i;
+    EXPECT_EQ(*p, payload_of(i));
+  }
+  EXPECT_FALSE(pc.lookup(key_of(99)).has_value());
+  EXPECT_EQ(pc.stats().hits, 10u);
+  EXPECT_EQ(pc.stats().misses, 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(ProofCache, InMemoryCacheNeedsNoFile) {
+  ProofCache pc;
+  EXPECT_TRUE(pc.insert(key_of(1), "x"));
+  EXPECT_FALSE(pc.insert(key_of(1), "y"));  // first insert wins
+  EXPECT_EQ(*pc.lookup(key_of(1)), "x");
+  pc.flush();  // no-op, must not throw
+}
+
+TEST(ProofCache, MissingFileLoadsEmpty) {
+  const std::string path = tmp_path("missing.pdatpc");
+  std::filesystem::remove(path);
+  ProofCache pc(path);
+  EXPECT_EQ(pc.size(), 0u);
+  EXPECT_FALSE(pc.stats().rejected_file);
+}
+
+TEST(ProofCache, EveryTruncationLoadsAValidPrefix) {
+  // Property: for EVERY prefix length of a valid file, loading accepts some
+  // leading run of complete records and every accepted payload is exact.
+  const std::string path = build_cache("trunc.pdatpc", 6);
+  const std::string full = slurp(path);
+  ASSERT_GT(full.size(), 12u);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    spit(path, full.substr(0, cut));
+    ProofCache pc(path);
+    ASSERT_LE(pc.size(), 6u);
+    std::uint64_t present = 0;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      const auto p = pc.lookup(key_of(i));
+      if (!p.has_value()) continue;
+      ++present;
+      EXPECT_EQ(*p, payload_of(i)) << "cut=" << cut << " entry=" << i;
+    }
+    EXPECT_EQ(present, pc.stats().loaded) << "cut=" << cut;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ProofCache, EverySingleBitFlipNeverSurfacesACorruptPayload) {
+  const std::string path = build_cache("flip.pdatpc", 4);
+  const std::string full = slurp(path);
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    std::string mutated = full;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ 0x10);
+    spit(path, mutated);
+    ProofCache pc(path);
+    // Whatever loads must be byte-exact; a flipped payload byte fails its
+    // checksum and truncates the load instead.
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      const auto p = pc.lookup(key_of(i));
+      if (p.has_value()) {
+        EXPECT_EQ(*p, payload_of(i)) << "flip at byte " << byte;
+      }
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ProofCache, VersionBumpLoadsEmptyAndRewrites) {
+  const std::string path = build_cache("version.pdatpc", 3);
+  std::string full = slurp(path);
+  full[8] = static_cast<char>(full[8] + 1);  // bump the version field
+  spit(path, full);
+  {
+    ProofCache pc(path);
+    EXPECT_EQ(pc.size(), 0u);
+    EXPECT_TRUE(pc.stats().rejected_file);
+    // New entries written through a rejected file recreate it wholesale.
+    EXPECT_TRUE(pc.insert(key_of(100), "fresh"));
+    pc.flush();
+  }
+  ProofCache reopened(path);
+  EXPECT_FALSE(reopened.stats().rejected_file);
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_EQ(*reopened.lookup(key_of(100)), "fresh");
+  std::filesystem::remove(path);
+}
+
+TEST(ProofCache, AlienFileLoadsEmptyWithWarning) {
+  const std::string path = tmp_path("alien.pdatpc");
+  spit(path, "this is not a proof cache at all, but it is long enough");
+  ProofCache pc(path);
+  EXPECT_EQ(pc.size(), 0u);
+  EXPECT_TRUE(pc.stats().rejected_file);
+  std::filesystem::remove(path);
+}
+
+TEST(ProofCache, AppendAfterTornTailTruncatesTheGarbage) {
+  const std::string path = build_cache("torn.pdatpc", 3);
+  const std::string full = slurp(path);
+  spit(path, full + "garbage-torn-tail");
+  {
+    ProofCache pc(path);
+    EXPECT_EQ(pc.stats().loaded, 3u);
+    EXPECT_GT(pc.stats().rejected_tail_bytes, 0u);
+    EXPECT_TRUE(pc.insert(key_of(3), payload_of(3)));
+    pc.flush();
+  }
+  ProofCache reopened(path);
+  EXPECT_EQ(reopened.stats().loaded, 4u);
+  EXPECT_EQ(reopened.stats().rejected_tail_bytes, 0u);
+  EXPECT_EQ(*reopened.lookup(key_of(3)), payload_of(3));
+  std::filesystem::remove(path);
+}
+
+TEST(ProofCache, RandomizedCorruptionNeverCrashesOrLies) {
+  // Property loop: random mutations (truncate / flip / splice) over a valid
+  // file; every load must succeed and only ever return exact payloads.
+  const std::string path = build_cache("randomized.pdatpc", 8);
+  const std::string full = slurp(path);
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = full;
+    switch (rng.below(3)) {
+      case 0: mutated = mutated.substr(0, rng.below(mutated.size() + 1)); break;
+      case 1: {
+        const std::size_t at = rng.below(mutated.size());
+        mutated[at] = static_cast<char>(rng.next());
+        break;
+      }
+      default: {
+        const std::size_t at = rng.below(mutated.size());
+        mutated.insert(at, std::string(1 + rng.below(9), static_cast<char>(rng.next())));
+        break;
+      }
+    }
+    spit(path, mutated);
+    ProofCache pc(path);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const auto p = pc.lookup(key_of(i));
+      if (p.has_value()) EXPECT_EQ(*p, payload_of(i)) << "trial " << trial;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ProofCache, FlushAfterFileDeletedRecreatesIt) {
+  const std::string path = build_cache("deleted.pdatpc", 2);
+  {
+    ProofCache pc(path);
+    std::filesystem::remove(path);
+    EXPECT_TRUE(pc.insert(key_of(2), payload_of(2)));
+    pc.flush();
+    ASSERT_TRUE(std::filesystem::exists(path));
+  }
+  ProofCache reopened(path);
+  EXPECT_EQ(reopened.stats().loaded, 3u);
+  EXPECT_EQ(*reopened.lookup(key_of(0)), payload_of(0));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace pdat
