@@ -32,6 +32,16 @@
 //                   cone-of-influence localized ones (localization is on by
 //                   default and kill-for-kill identical; this flag exists
 //                   for differential debugging and timing comparisons)
+//   --certify       paranoid mode (DESIGN.md §5.10): DRAT-check every SAT
+//                   verdict that can remove a gate with the independent
+//                   in-tree checker; a failed certificate aborts the run.
+//                   Reports are byte-identical with or without this flag
+//
+// SIGINT/SIGTERM interrupt the run cooperatively: the proof journal keeps
+// every completed round, a resume command is printed, and the process exits
+// with status 75 (resumable) instead of 1.
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -49,6 +59,17 @@
 using namespace pdat;
 
 namespace {
+
+/// Tripped by SIGINT/SIGTERM; polled by the pipeline at stage boundaries and
+/// inside SAT solves. sig_atomic_t-free: std::atomic<bool> is lock-free and
+/// async-signal-safe to store on every supported platform.
+std::atomic<bool> g_interrupt{false};
+
+extern "C" void on_interrupt(int) { g_interrupt.store(true, std::memory_order_relaxed); }
+
+/// Exit status for a run stopped by SIGINT/SIGTERM with its journal intact
+/// (EX_TEMPFAIL: rerunning with --resume will continue the work).
+constexpr int kExitResumable = 75;
 
 isa::RvSubset pick_subset(const std::string& name) {
   if (name == "reduced-addressing") return isa::rv32_subset_reduced_addressing();
@@ -93,6 +114,7 @@ int main(int argc, char** argv) {
   std::string journal_path, resume_path, report_path, trace_path, metrics_path;
   std::string proof_cache_path;
   bool coi = true;
+  bool certify = false;
   int threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -116,6 +138,8 @@ int main(int argc, char** argv) {
       proof_cache_path = arg.substr(14);
     } else if (arg == "--no-coi") {
       coi = false;
+    } else if (arg == "--certify") {
+      certify = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
@@ -145,6 +169,10 @@ int main(int argc, char** argv) {
   opt.coi_localize = coi;
   opt.proof_cache_path = proof_cache_path;
   opt.run_label = "reduce_ibex:" + subset_name;
+  opt.certify = certify;
+  opt.interrupt = &g_interrupt;
+  std::signal(SIGINT, on_interrupt);
+  std::signal(SIGTERM, on_interrupt);
 
   const auto instr_q = core.instr_reg_q;
   PdatResult res;
@@ -152,6 +180,16 @@ int main(int argc, char** argv) {
     res = run_pdat(core.netlist,
                    [&](Netlist& a) { return restrict_isa_cutpoint(a, instr_q, subset); }, opt);
   } catch (const PdatError& e) {
+    if (g_interrupt.load(std::memory_order_relaxed)) {
+      // Journal appends are fsynced record by record, so everything proved
+      // before the signal is already durable on disk.
+      std::cerr << "interrupted: " << e.what() << "\n";
+      if (!journal_path.empty()) {
+        std::cerr << "resume with: " << argv[0] << " " << subset_name
+                  << " --journal=" << journal_path << " --resume=" << journal_path << "\n";
+      }
+      return kExitResumable;
+    }
     std::cerr << "PDAT failed: " << e.what() << "\n";
     return 1;
   }

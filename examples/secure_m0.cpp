@@ -6,7 +6,16 @@
 //
 // The example demonstrates the black-box property of the framework: no
 // microarchitectural knowledge is used, only the fetch port constraint.
+//
+//   ./secure_m0 [flags]
+//     --certify           DRAT-check every gate-removing SAT verdict
+//     --threads=N         proof-job worker threads (bit-identical results)
+//     --report=PATH       timing-free result report (byte-comparable runs)
+//     --metrics=PATH      versioned pdat-metrics JSON (docs/telemetry.md)
+//     --proof-cache=PATH  content-addressed proof cache
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "cores/cm0/cm0_core.h"
 #include "cores/cm0/cm0_tb.h"
@@ -18,7 +27,28 @@
 
 using namespace pdat;
 
-int main() {
+int main(int argc, char** argv) {
+  bool certify = false;
+  int threads = 1;
+  std::string report_path, metrics_path, proof_cache_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--certify") {
+      certify = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else if (arg.rfind("--proof-cache=", 0) == 0) {
+      proof_cache_path = arg.substr(14);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+
   // The IP vendor's flow: build, synthesize, obfuscate.
   cores::Cm0Core core = cores::build_cm0();
   opt::optimize(core.netlist);
@@ -32,6 +62,13 @@ int main() {
   const isa::ThumbSubset subset = isa::thumb_subset_interesting();
   std::cout << "target subset: " << subset.size() << " of "
             << isa::thumb_subset_all().size() << " ARMv6-M instructions (all 16-bit)\n";
+
+  PdatOptions opt;
+  opt.certify = certify;
+  opt.induction.threads = threads;
+  opt.metrics_path = metrics_path;
+  opt.proof_cache_path = proof_cache_path;
+  opt.run_label = "secure_m0";
 
   const PdatResult res = run_pdat(core.netlist, [&](Netlist& a) {
     const Port* port = a.find_input("imem_rdata");
@@ -58,7 +95,24 @@ int main() {
     };
     r.env.drivers.push_back(std::make_shared<Driver>(port->bits, subset));
     return r;
-  });
+  }, opt);
+
+  if (!report_path.empty()) {
+    // Deterministic fields only (no wall clock): byte-comparable between
+    // certified and uncertified runs — certification must change nothing.
+    std::ofstream rep(report_path);
+    rep << "candidates " << res.candidates << "\n";
+    rep << "after_sim_filter " << res.after_sim_filter << "\n";
+    rep << "proven " << res.proven << "\n";
+    rep << "gates_before " << res.gates_before << "\n";
+    rep << "gates_after " << res.gates_after << "\n";
+    rep << "proof_rounds " << res.induction.rounds << "\n";
+    rep << "proof_sat_calls " << res.induction.sat_calls << "\n";
+    rep << "proof_cex_kills " << res.induction.cex_kills << "\n";
+    rep << "proof_budget_kills " << res.induction.budget_kills << "\n";
+    for (const auto& p : res.proven_props) rep << "prop " << p.describe() << "\n";
+    std::cout << "wrote report " << report_path << "\n";
+  }
 
   std::cout << "reduced core: " << res.gates_after << " gates ("
             << 100.0 * (1.0 - static_cast<double>(res.gates_after) /

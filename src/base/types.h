@@ -23,6 +23,16 @@ class PdatError : public std::runtime_error {
   explicit PdatError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when certified solving (--certify) cannot vouch for a solver
+/// verdict: a DRAT line fails the independent RUP check, a returned model
+/// falsifies an original clause, or an UNSAT core is not derivable. Never
+/// downgraded to a conservative drop — certification failure means the
+/// solver (or the checker) is wrong, and the pipeline must stop.
+class CertificationError : public PdatError {
+ public:
+  explicit CertificationError(const std::string& what) : PdatError(what) {}
+};
+
 /// Three-valued logic used by the ternary simulator and initial states.
 enum class Tri : std::uint8_t { F = 0, T = 1, X = 2 };
 

@@ -1,10 +1,12 @@
 #include "formal/bmc.h"
 
 #include <chrono>
+#include <optional>
 
 #include "base/log.h"
 #include "formal/cnf_encoder.h"
 #include "formal/coi.h"
+#include "sat/dratcheck.h"
 #include "trace/trace.h"
 
 namespace pdat {
@@ -30,9 +32,13 @@ void arm_deadline(sat::Solver& s, double deadline_seconds) {
 template <typename Encoder>
 BmcResult bmc_frames(const Encoder& enc, const std::vector<NetId>& assumes,
                      const GateProperty& prop, int depth, std::int64_t conflict_budget,
-                     double deadline_seconds, trace::Span& span) {
+                     double deadline_seconds, bool certify, trace::Span& span) {
   BmcResult res;
   sat::Solver s;
+  // The session must exist before the first clause so the certificate
+  // covers the whole unrolling (a fresh solver has nothing to snapshot).
+  std::optional<sat::CertifySession> cert;
+  if (certify) cert.emplace(s);
   arm_deadline(s, deadline_seconds);
   std::vector<Frame> frames;
   for (int t = 0; t < depth; ++t) {
@@ -62,6 +68,7 @@ BmcResult bmc_frames(const Encoder& enc, const std::vector<NetId>& assumes,
       assumptions = {aux};
     }
     const SolveResult r = s.solve(assumptions, conflict_budget);
+    if (cert.has_value()) cert->check(r, assumptions, "bmc");
     trace::add(trace::Counter::BmcFramesSolved, 1);
     if (r == SolveResult::Sat) {
       res.violated = true;
@@ -75,29 +82,37 @@ BmcResult bmc_frames(const Encoder& enc, const std::vector<NetId>& assumes,
   return res;
 }
 
-std::string encode_bmc_verdict(const BmcResult& r) {
-  // Conclusive verdicts only: violated flag + biased frame, little-endian.
+struct CachedBmcVerdict {
+  BmcResult result;
+  bool certified = false;  // every frame verdict was DRAT-checked at record time
+};
+
+std::string encode_bmc_verdict(const BmcResult& r, bool certified) {
+  // Conclusive verdicts only: violated flag + biased frame + certified flag,
+  // little-endian (v2: the certified word is new).
   std::string out;
-  const std::uint32_t v[2] = {r.violated ? 1u : 0u,
-                              static_cast<std::uint32_t>(r.violation_frame + 1)};
+  const std::uint32_t v[3] = {r.violated ? 1u : 0u,
+                              static_cast<std::uint32_t>(r.violation_frame + 1),
+                              certified ? 1u : 0u};
   for (const std::uint32_t w : v)
     for (int i = 0; i < 32; i += 8) out.push_back(static_cast<char>(w >> i));
   return out;
 }
 
-std::optional<BmcResult> decode_bmc_verdict(const std::string& p) {
-  if (p.size() != 8) return std::nullopt;  // key collision or format drift
+std::optional<CachedBmcVerdict> decode_bmc_verdict(const std::string& p) {
+  if (p.size() != 12) return std::nullopt;  // key collision or format drift
   const auto rd = [&p](std::size_t at) {
     std::uint32_t w = 0;
     for (int i = 0; i < 4; ++i)
       w |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[at + i])) << (8 * i);
     return w;
   };
-  BmcResult res;
-  res.violated = rd(0) != 0;
-  res.violation_frame = static_cast<int>(rd(4)) - 1;
-  if (res.violated != (res.violation_frame >= 0)) return std::nullopt;
-  return res;
+  CachedBmcVerdict v;
+  v.result.violated = rd(0) != 0;
+  v.result.violation_frame = static_cast<int>(rd(4)) - 1;
+  v.certified = rd(8) != 0;
+  if (v.result.violated != (v.result.violation_frame >= 0)) return std::nullopt;
+  return v;
 }
 
 }  // namespace
@@ -119,7 +134,7 @@ BmcResult bmc_check(const Netlist& nl, const Environment& env, const GatePropert
   if (!opt.coi_localize) {
     FrameEncoder enc(nl);
     return bmc_frames(enc, env.assumes, prop, opt.depth, opt.conflict_budget,
-                      opt.deadline_seconds, span);
+                      opt.deadline_seconds, opt.certify, span);
   }
 
   // A single-candidate partition always yields exactly one cone (assume-only
@@ -134,7 +149,7 @@ BmcResult bmc_check(const Netlist& nl, const Environment& env, const GatePropert
   CacheKey key{};
   if (opt.cache != nullptr) {
     Fnv128 h;
-    h.str("pdat-bmc-v1");
+    h.str("pdat-bmc-v2");  // v2: payload carries a certified flag
     const CacheKey fp = cone_fingerprint(nl, cone, cands);
     h.u64(fp.lo);
     h.u64(fp.hi);
@@ -143,23 +158,36 @@ BmcResult bmc_check(const Netlist& nl, const Environment& env, const GatePropert
     key = h.digest();
     if (const auto payload = opt.cache->lookup(key)) {
       if (const auto cached = decode_bmc_verdict(*payload)) {
-        if (cached->violated) span.arg("violation_frame", cached->violation_frame);
-        span.arg("cache", 1);
-        return *cached;
+        // A certified run re-solves (and upgrades) uncertified records
+        // instead of trusting them.
+        if (!opt.certify || cached->certified) {
+          if (cached->result.violated)
+            span.arg("violation_frame", cached->result.violation_frame);
+          span.arg("cache", 1);
+          return cached->result;
+        }
       }
-      // Undecodable payload: fall through to a real solve.
+      // Undecodable or insufficiently-trusted payload: real solve below.
     }
   }
 
   const ConeEncoder enc(nl, cone);
   const BmcResult res = bmc_frames(enc, cone.assumes, prop, opt.depth, opt.conflict_budget,
-                                   opt.deadline_seconds, span);
+                                   opt.deadline_seconds, opt.certify, span);
   // Only conclusive, deadline-free verdicts are content, not circumstance.
-  if (opt.cache != nullptr && !res.inconclusive && opt.deadline_seconds <= 0)
-    opt.cache->insert(key, encode_bmc_verdict(res));
+  if (opt.cache != nullptr && !res.inconclusive && opt.deadline_seconds <= 0) {
+    if (opt.certify) {
+      opt.cache->update(key, encode_bmc_verdict(res, true));
+    } else {
+      opt.cache->insert(key, encode_bmc_verdict(res, false));
+    }
+  }
   return res;
 }
 
+// Deliberately uncertified even in --certify runs: a wrong Unsat here aborts
+// the whole run (fail-safe), and a wrong Sat merely skips the vacuity veto —
+// neither can remove a gate. See DESIGN.md §5.10.
 bool env_satisfiable(const Netlist& nl, const Environment& env, int depth,
                      double deadline_seconds) {
   trace::Span span("bmc.env_check", {"depth", depth});

@@ -36,6 +36,11 @@ struct BmcCheckOptions {
   /// meaningful together with coi_localize). Only conclusive, deadline-free
   /// verdicts are stored.
   ProofCache* cache = nullptr;
+  /// Certified solving (DESIGN.md §5.10): DRAT-check every per-frame SAT
+  /// verdict with the independent checker before reporting it. A failed
+  /// check raises CertificationError. Cached verdicts written by
+  /// uncertified runs are re-solved and upgraded, never trusted.
+  bool certify = false;
 };
 
 /// Checks a single property over frames 0..depth-1 from the initial state,

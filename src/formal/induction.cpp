@@ -14,6 +14,7 @@
 #include "runtime/checkpoint.h"
 #include "runtime/journal.h"
 #include "runtime/supervisor.h"
+#include "sat/dratcheck.h"
 #include "sim/bitsim.h"
 #include "trace/trace.h"
 
@@ -90,8 +91,15 @@ struct Deadline {
   bool armed = false;
   Clock::time_point at{};
   InductionStats* st = nullptr;
+  /// Cooperative interrupt: aborts exactly like an expiry (conservative,
+  /// journal keeps completed rounds), so resume semantics are shared.
+  const std::atomic<bool>* interrupt = nullptr;
 
   bool expired() const {
+    if (interrupt != nullptr && interrupt->load(std::memory_order_relaxed)) {
+      st->timed_out = true;
+      return true;
+    }
     if (!armed || Clock::now() < at) return false;
     st->timed_out = true;
     return true;
@@ -152,11 +160,17 @@ struct CachedOutcome {
   std::uint64_t sat_calls = 0;
   std::vector<std::uint32_t> kills;
   std::vector<std::uint32_t> pending;
+  /// Every SAT verdict behind this outcome was certificate-checked when it
+  /// was recorded. A certified run treats uncertified hits as misses and
+  /// upgrades the record in place after re-proving (cache update()).
+  bool certified = false;
+  std::uint64_t cert_hash = 0;  // folded DRAT-certificate digest (0 if none)
 };
 
 std::string encode_outcome(runtime::JobStatus status, std::uint64_t sat_calls,
                            const std::vector<std::uint32_t>& kills,
-                           const std::vector<std::uint32_t>& pending) {
+                           const std::vector<std::uint32_t>& pending, bool certified,
+                           std::uint64_t cert_hash) {
   std::string p;
   runtime::put_u32(p, status == runtime::JobStatus::Done ? 0 : 1);
   runtime::put_u64(p, sat_calls);
@@ -164,6 +178,8 @@ std::string encode_outcome(runtime::JobStatus status, std::uint64_t sat_calls,
   for (const std::uint32_t k : kills) runtime::put_u32(p, k);
   runtime::put_u32(p, static_cast<std::uint32_t>(pending.size()));
   for (const std::uint32_t m : pending) runtime::put_u32(p, m);
+  runtime::put_u32(p, certified ? 1 : 0);
+  runtime::put_u64(p, cert_hash);
   return p;
 }
 
@@ -179,6 +195,8 @@ std::optional<CachedOutcome> decode_outcome(const std::string& payload) {
     const std::uint32_t np = runtime::get_u32(payload, pos);
     o.pending.reserve(np);
     for (std::uint32_t i = 0; i < np; ++i) o.pending.push_back(runtime::get_u32(payload, pos));
+    o.certified = runtime::get_u32(payload, pos) != 0;
+    o.cert_hash = runtime::get_u64(payload, pos);
     return o;
   } catch (const PdatError&) {
     // Checksummed records should never decode short; treat it as a miss
@@ -186,6 +204,22 @@ std::optional<CachedOutcome> decode_outcome(const std::string& payload) {
     return std::nullopt;
   }
 }
+
+/// Exports a CertifySession's accumulated digest when the job attempt's
+/// solver (and with it the session) leaves scope, so the cache record can
+/// carry it. Runs on the exception path too, but a CertificationError
+/// unwinds past the cache store, so nothing unchecked is ever recorded.
+struct CertExport {
+  const std::optional<sat::CertifySession>& session;
+  bool& certified;
+  std::uint64_t& hash;
+  ~CertExport() {
+    if (session.has_value()) {
+      certified = true;
+      hash = session->certificate_hash();
+    }
+  }
+};
 
 /// Per-job result, merged by candidate index after the round completes (a
 /// union, so worker count and completion order cannot change the outcome).
@@ -242,6 +276,12 @@ struct Engine {
   ProofCache* cache = nullptr;
   bool coi = false;            // localize rounds into support-closed cones
   bool cache_store_ok = false; // only deterministic attempts are stored
+  bool certify = false;        // DRAT-check every proof-job SAT verdict
+  /// Engine-level probe outcomes (what InductionStats reports). These can
+  /// differ from the ProofCache's own file-level stats: a certified run
+  /// rejects uncertified records, which the file still counts as hits.
+  mutable std::atomic<std::uint64_t> probe_hits{0};
+  mutable std::atomic<std::uint64_t> probe_misses{0};
   Fnv128 problem_hash;         // shared global-key prefix
   std::uint64_t alive_hash = 0;  // per-round digest of the alive bitset
 
@@ -256,7 +296,8 @@ struct Engine {
   /// on it — and so is the cache path itself.
   void init_problem_hash() {
     Fnv128 h;
-    h.str("pdat-proof-global-v1");
+    // v2: payloads carry a certification flag + certificate digest.
+    h.str("pdat-proof-global-v2");
     hash_netlist(h, nl);
     h.u64(env.assumes.size());
     for (const NetId a : env.assumes) h.u32(a);
@@ -307,21 +348,31 @@ struct Engine {
   std::optional<CachedOutcome> cache_probe(const CacheKey& key) const {
     if (const auto hit = cache->lookup(key)) {
       if (auto o = decode_outcome(*hit)) {
-        trace::add(trace::Counter::ProofCacheHits, 1);
-        return o;
+        // A certified run never trusts a record an uncertified run wrote:
+        // treat it as a miss, re-prove under the checker, and upgrade it.
+        if (!certify || o->certified) {
+          probe_hits.fetch_add(1, std::memory_order_relaxed);
+          trace::add(trace::Counter::ProofCacheHits, 1);
+          return o;
+        }
       }
     }
+    probe_misses.fetch_add(1, std::memory_order_relaxed);
     trace::add(trace::Counter::ProofCacheMisses, 1);
     return std::nullopt;
   }
 
   void cache_store(const CacheKey& key, runtime::JobStatus status, std::uint64_t sat_calls,
                    const std::vector<std::uint32_t>& kills,
-                   const std::vector<std::uint32_t>& pending) const {
+                   const std::vector<std::uint32_t>& pending, bool certified,
+                   std::uint64_t cert_hash) const {
     if (cache == nullptr || !cache_store_ok) return;
-    if (cache->insert(key, encode_outcome(status, sat_calls, kills, pending))) {
-      trace::add(trace::Counter::ProofCacheStores, 1);
-    }
+    std::string payload = encode_outcome(status, sat_calls, kills, pending, certified, cert_hash);
+    // Certified outcomes overwrite (upgrade) whatever is recorded; an
+    // uncertified outcome never downgrades an existing record.
+    const bool stored = certified ? cache->update(key, std::move(payload))
+                                  : cache->insert(key, std::move(payload));
+    if (stored) trace::add(trace::Counter::ProofCacheStores, 1);
   }
 
   /// Replays a cached attempt: byte-equivalent to re-running it.
@@ -345,6 +396,7 @@ struct Engine {
       sopt.has_deadline = true;
       sopt.deadline = dl.at;
     }
+    sopt.interrupt = opt.interrupt;
     return sopt;
   }
 
@@ -518,19 +570,31 @@ struct Engine {
       const std::size_t nk0 = out.kills.size();
       const std::uint64_t sc0 = out.sat_calls;
       std::uint64_t solve_us = 0;
+      bool att_certified = false;
+      std::uint64_t att_cert_hash = 0;
       const runtime::JobStatus status = [&] {
       sat::Solver s = tmpl;  // private copy; index-based state, so this is a deep copy
+      std::optional<sat::CertifySession> cert;
+      if (certify) cert.emplace(s);
+      const CertExport cert_export{cert, att_certified, att_cert_hash};
+      if (opt.test_corrupt_solver) s.test_corrupt_next_learnt();
       arm_solver(s, budget);
       sat::SolveLimits lim;
       lim.conflict_budget = budget.conflicts;
       lim.memory_bytes = budget.memory_bytes;
       lim.interrupt = &sup.cancelled();
+      lim.interrupt2 = opt.interrupt;
       const auto timed_solve = [&](sat::Solver& sv, Lit assumption, const sat::SolveLimits& l) {
-        if (!trace::collecting()) return sv.solve({assumption}, l);
-        const auto t0 = Clock::now();
-        const auto r = sv.solve({assumption}, l);
-        solve_us += static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count());
+        SolveResult r;
+        if (!trace::collecting()) {
+          r = sv.solve({assumption}, l);
+        } else {
+          const auto t0 = Clock::now();
+          r = sv.solve({assumption}, l);
+          solve_us += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count());
+        }
+        if (cert.has_value()) cert->check(r, {assumption}, "induction.base");
         return r;
       };
 
@@ -630,7 +694,7 @@ struct Engine {
       if (solve_us != 0) trace::add(trace::Counter::InductionSolveMicrosGlobal, solve_us);
       cache_store(key, status, out.sat_calls - sc0,
                   {out.kills.begin() + static_cast<std::ptrdiff_t>(nk0), out.kills.end()},
-                  members);
+                  members, att_certified, att_cert_hash);
       return status;
     };
 
@@ -693,19 +757,31 @@ struct Engine {
       const std::size_t nk0 = out.kills.size();
       const std::uint64_t sc0 = out.sat_calls;
       std::uint64_t solve_us = 0;
+      bool att_certified = false;
+      std::uint64_t att_cert_hash = 0;
       const runtime::JobStatus status = [&] {
       sat::Solver s = tmpl;
+      std::optional<sat::CertifySession> cert;
+      if (certify) cert.emplace(s);
+      const CertExport cert_export{cert, att_certified, att_cert_hash};
+      if (opt.test_corrupt_solver) s.test_corrupt_next_learnt();
       arm_solver(s, budget);
       sat::SolveLimits lim;
       lim.conflict_budget = budget.conflicts;
       lim.memory_bytes = budget.memory_bytes;
       lim.interrupt = &sup.cancelled();
+      lim.interrupt2 = opt.interrupt;
       const auto timed_solve = [&](sat::Solver& sv, Lit assumption, const sat::SolveLimits& l) {
-        if (!trace::collecting()) return sv.solve({assumption}, l);
-        const auto t0 = Clock::now();
-        const auto r = sv.solve({assumption}, l);
-        solve_us += static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count());
+        SolveResult r;
+        if (!trace::collecting()) {
+          r = sv.solve({assumption}, l);
+        } else {
+          const auto t0 = Clock::now();
+          r = sv.solve({assumption}, l);
+          solve_us += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count());
+        }
+        if (cert.has_value()) cert->check(r, {assumption}, "induction.step");
         return r;
       };
 
@@ -803,7 +879,7 @@ struct Engine {
       if (solve_us != 0) trace::add(trace::Counter::InductionSolveMicrosGlobal, solve_us);
       cache_store(key, status, out.sat_calls - sc0,
                   {out.kills.begin() + static_cast<std::ptrdiff_t>(nk0), out.kills.end()},
-                  members);
+                  members, att_certified, att_cert_hash);
       return status;
     };
 
@@ -914,7 +990,7 @@ struct Engine {
       CacheKey key{};
       if (cache != nullptr) {
         Fnv128 h;
-        h.str("pdat-coi-job-v1");
+        h.str("pdat-coi-job-v2");  // v2: certified payloads, see CachedOutcome
         h.u64(fps[ci].lo);
         h.u64(fps[ci].hi);
         h.u32(base ? 0u : 1u);
@@ -925,6 +1001,7 @@ struct Engine {
         h.u64(budget.memory_bytes);
         key = h.digest();
         if (const auto hit = cache_probe(key)) {
+          // (cache_probe already rejected uncertified hits under --certify.)
           bool in_range = true;
           for (const std::uint32_t p : hit->kills) in_range = in_range && p < cone.candidates.size();
           for (const std::uint32_t p : hit->pending) in_range = in_range && p < cone.candidates.size();
@@ -940,21 +1017,33 @@ struct Engine {
       const std::size_t nk0 = out.kills.size();
       const std::uint64_t sc0j = out.sat_calls;
       std::uint64_t solve_us = 0;
+      bool att_certified = false;
+      std::uint64_t att_cert_hash = 0;
       const runtime::JobStatus status = [&] {
         std::call_once(built[ci], build_template, ci);
         const ConeTemplate& tmpl = *templates[ci];
         sat::Solver s = tmpl.solver;
+        std::optional<sat::CertifySession> cert;
+        if (certify) cert.emplace(s);
+        const CertExport cert_export{cert, att_certified, att_cert_hash};
+        if (opt.test_corrupt_solver) s.test_corrupt_next_learnt();
         arm_solver(s, budget);
         sat::SolveLimits lim;
         lim.conflict_budget = budget.conflicts;
         lim.memory_bytes = budget.memory_bytes;
         lim.interrupt = &sup.cancelled();
+        lim.interrupt2 = opt.interrupt;
         const auto timed_solve = [&](Lit assumption, const sat::SolveLimits& l) {
-          if (!trace::collecting()) return s.solve({assumption}, l);
-          const auto t0 = Clock::now();
-          const auto r = s.solve({assumption}, l);
-          solve_us += static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count());
+          SolveResult r;
+          if (!trace::collecting()) {
+            r = s.solve({assumption}, l);
+          } else {
+            const auto t0 = Clock::now();
+            r = s.solve({assumption}, l);
+            solve_us += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count());
+          }
+          if (cert.has_value()) cert->check(r, {assumption}, "induction.coi");
           return r;
         };
         // Frames to check: every base frame, or frame k for the step.
@@ -1060,7 +1149,8 @@ struct Engine {
         }
         std::vector<std::uint32_t> pend_pos;
         for (const std::uint32_t m : members) pend_pos.push_back(cone_pos(m));
-        cache_store(key, status, out.sat_calls - sc0j, kill_pos, pend_pos);
+        cache_store(key, status, out.sat_calls - sc0j, kill_pos, pend_pos,
+                    att_certified, att_cert_hash);
       }
       return status;
     };
@@ -1085,6 +1175,7 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
 
   Deadline dl;
   dl.st = &st;
+  dl.interrupt = opt.interrupt;
   if (opt.deadline_seconds > 0) {
     dl.armed = true;
     dl.at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -1107,6 +1198,7 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
 
   Engine eng(nl, env, candidates, opt, st, dl);
   eng.coi = coi_active;
+  eng.certify = opt.certify;
   eng.cache = pcache.get();
   // Attempts raced against a wall clock are not pure functions of their key
   // (an interrupt can strike anywhere); never memoize them.
@@ -1116,10 +1208,12 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
   const auto finalize_cache = [&] {
     if (pcache == nullptr) return;
     pcache->flush();
-    const ProofCacheStats cs = pcache->stats();
-    st.cache_hits = cs.hits;
-    st.cache_misses = cs.misses;
-    st.cache_stores = cs.stores;
+    // Hits/misses are the engine's probe decisions, not the file's: under
+    // --certify an uncertified record is present in the file (a file-level
+    // hit) yet rejected by the probe (an engine-level miss, re-proved).
+    st.cache_hits = eng.probe_hits.load(std::memory_order_relaxed);
+    st.cache_misses = eng.probe_misses.load(std::memory_order_relaxed);
+    st.cache_stores = pcache->stats().stores;
   };
 
   const runtime::ProofJournalHeader header{proof_fingerprint(nl, candidates, opt, coi_active),

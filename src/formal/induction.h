@@ -33,6 +33,7 @@
 // bit-identical to an uninterrupted one.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -65,6 +66,28 @@ struct InductionOptions {
   /// but completed rounds stay in the journal, so a later resume_from run
   /// continues instead of starting over.
   double deadline_seconds = 0;
+  /// Optional cooperative interrupt (SIGINT/SIGTERM in the CLI). When it
+  /// becomes true, the fixpoint aborts exactly like a deadline expiry:
+  /// conservatively, with completed rounds preserved in the journal.
+  const std::atomic<bool>* interrupt = nullptr;
+
+  // --- certified solving (DESIGN.md §5.10) ----------------------------------
+  /// Attach a DRAT certificate pipeline to every proof-job solver: each SAT
+  /// call's verdict is re-checked by the independent checker
+  /// (src/sat/dratcheck.h) before it is allowed to kill or keep a candidate.
+  /// A certificate that fails to check raises CertificationError out of
+  /// prove_invariants — never a silently wrong survivor set. Verdicts and
+  /// reports are byte-identical with certification on or off; only the
+  /// cert.* telemetry and runtime differ. Cached outcomes recorded by
+  /// uncertified runs are re-proved (treated as misses), then upgraded in
+  /// place, so a warm cache cannot smuggle unchecked verdicts into a
+  /// certified run.
+  bool certify = false;
+  /// Test-only: arm Solver::test_corrupt_next_learnt() on every proof-job
+  /// solver, so each job mis-learns one clause. Tests combine it with
+  /// `certify` to prove the checker catches an unsound solver end to end;
+  /// without `certify` it demonstrates what silent corruption looks like.
+  bool test_corrupt_solver = false;
 
   // --- supervised runtime ---------------------------------------------------
   /// Worker threads for proof jobs. Results are bit-identical for any value

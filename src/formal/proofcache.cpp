@@ -5,6 +5,8 @@
 #include <fstream>
 #include <utility>
 
+#include "runtime/journal.h"
+
 namespace pdat {
 namespace {
 
@@ -100,7 +102,7 @@ void ProofCache::load_locked() {
     if (data.size() - pos - kRecordHeaderBytes < len) break;  // torn tail
     std::string payload = data.substr(pos + kRecordHeaderBytes, len);
     if (record_checksum(k, payload) != sum) break;  // bit rot / torn write
-    map_.emplace(k, std::move(payload));
+    map_[k] = std::move(payload);  // last record wins (update() appends)
     ++stats_.loaded;
     pos += kRecordHeaderBytes + len;
   }
@@ -136,6 +138,16 @@ bool ProofCache::insert(const CacheKey& k, std::string payload) {
   return true;
 }
 
+bool ProofCache::update(const CacheKey& k, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.emplace(k, std::string());
+  if (!inserted && it->second == payload) return false;
+  it->second = std::move(payload);
+  if (inserted) ++stats_.stores;
+  unsaved_.push_back(k);
+  return true;
+}
+
 void ProofCache::flush() {
   std::lock_guard<std::mutex> lock(mu_);
   flush_locked();
@@ -164,6 +176,9 @@ void ProofCache::flush_locked() {
     out.flush();
     rewrite_on_flush_ = !out.good();
     unsaved_.clear();
+    out.close();
+    runtime::durable_sync_file(path_);
+    runtime::durable_sync_parent(path_);
     return;
   }
 
@@ -189,6 +204,8 @@ void ProofCache::flush_locked() {
   }
   out.flush();
   if (out.good()) unsaved_.clear();
+  out.close();
+  runtime::durable_sync_file(path_);
 }
 
 ProofCacheStats ProofCache::stats() const {

@@ -19,6 +19,9 @@
 // The checksum is FNV-1a over key and payload. Loading accepts the longest
 // valid record prefix: a short header, a payload running past end-of-file,
 // or a checksum mismatch ends the load at the previous record boundary.
+// Duplicate keys are legal and resolve last-record-wins, which is how
+// update() upgrades an entry (e.g. uncertified → certified) without
+// rewriting the file.
 // A missing file is an empty cache; a wrong magic or version loads as
 // empty-with-warning and the file is rewritten from scratch on the next
 // flush. Corruption can only ever cost entries — it is never fatal and
@@ -118,6 +121,12 @@ class ProofCache {
   /// construction, so there is nothing to reconcile). Returns whether the
   /// key was newly stored.
   bool insert(const CacheKey& k, std::string payload);
+  /// Records `payload` under `k`, replacing any existing payload. Used by
+  /// certified runs to upgrade an uncertified record in place: the on-disk
+  /// format is append-only, so the upgrade is a new record for the same key
+  /// and loading is last-record-wins. Returns whether the stored payload
+  /// changed (false when the existing payload is byte-identical).
+  bool update(const CacheKey& k, std::string payload);
 
   /// Appends records added since the last flush (truncating any torn tail
   /// first so the file never holds garbage between valid records). When the

@@ -147,6 +147,14 @@ PdatResult run_pdat(const Netlist& design,
       degrade(st, "exceeded stage deadline (" + std::to_string(took) + "s)");
     }
   };
+  // Cooperative interrupt: always thrown (never degraded) so the CLI can
+  // print a resume command and exit with a distinct resumable status.
+  const auto check_interrupt = [&](PdatStage st) {
+    if (opt.interrupt != nullptr && opt.interrupt->load(std::memory_order_relaxed)) {
+      throw StageError(st, "interrupted; completed proof rounds remain in the journal for --resume",
+                       clk.elapsed());
+    }
+  };
 
   // --- build the analysis netlist: design + restrictions -------------------
   // A malformed restriction is a configuration error: always thrown, never
@@ -223,11 +231,15 @@ PdatResult run_pdat(const Netlist& design,
   log_info() << "PDAT: " << res.candidates << " candidates, " << res.after_sim_filter
              << " after simulation filtering";
 
+  check_interrupt(PdatStage::SimFilter);
+
   begin_stage(PdatStage::Induction);
   std::vector<GateProperty> proven;
   InductionOptions iopt = opt.induction;
   if (iopt.journal_path.empty()) iopt.journal_path = opt.checkpoint_journal;
   if (iopt.resume_from.empty()) iopt.resume_from = opt.resume_from;
+  if (opt.certify) iopt.certify = true;
+  if (iopt.interrupt == nullptr) iopt.interrupt = opt.interrupt;
   if (opt.coi_localize) iopt.coi_localize = true;
   if (iopt.proof_cache_path.empty()) iopt.proof_cache_path = opt.proof_cache_path;
   if (!iopt.proof_cache_path.empty() && iopt.env_fingerprint == 0) {
@@ -267,6 +279,11 @@ PdatResult run_pdat(const Netlist& design,
       if (res.induction.timed_out) {
         degrade(PdatStage::Induction, "proof deadline expired; no invariants proved");
       }
+    } catch (const CertificationError& e) {
+      // A certificate that failed to check means the solver lied somewhere:
+      // degrading would keep pipeline output built on unsound verdicts, so
+      // this is always a hard stop, like a configuration error.
+      throw StageError(PdatStage::Induction, e.what(), clk.elapsed());
     } catch (const PdatError& e) {
       // A missing/corrupt/mismatched resume journal is a configuration
       // error, like a malformed restriction: always thrown, never degraded,
@@ -279,6 +296,7 @@ PdatResult run_pdat(const Netlist& design,
     }
   }
   end_stage(PdatStage::Induction);
+  check_interrupt(PdatStage::Induction);
   if (!res.induction.timed_out) check_stage_deadline(PdatStage::Induction);
   if (res.induction.budget_kills > 0) {
     log_warn() << "PDAT: conflict budget dropped " << res.induction.budget_kills
@@ -314,6 +332,7 @@ PdatResult run_pdat(const Netlist& design,
   end_stage(PdatStage::Rewire);
 
   // --- logic resynthesis stage ----------------------------------------------
+  check_interrupt(PdatStage::Resynthesis);
   begin_stage(PdatStage::Resynthesis);
   if (clk.total_expired()) {
     degrade(PdatStage::Resynthesis, "total deadline exhausted; shipping unoptimized rewiring");
@@ -332,9 +351,11 @@ PdatResult run_pdat(const Netlist& design,
 
   // --- validation safety net -------------------------------------------------
   if (opt.validate.enabled) {
+    check_interrupt(PdatStage::Validate);
     begin_stage(PdatStage::Validate);
     try {
       validate::ValidationOptions vopt = opt.validate;
+      if (opt.certify) vopt.miter.certify = true;
       const double budget = clk.stage_budget();
       if (std::isfinite(budget) && vopt.miter.deadline_seconds <= 0) {
         vopt.miter.deadline_seconds = budget;
@@ -350,6 +371,9 @@ PdatResult run_pdat(const Netlist& design,
       }
     } catch (const ValidationError&) {
       throw;
+    } catch (const CertificationError& e) {
+      // An uncertified miter Unsat must never count as a Pass.
+      throw StageError(PdatStage::Validate, e.what(), clk.elapsed());
     } catch (const PdatError& e) {
       degrade(PdatStage::Validate, e.what());
     }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -71,6 +72,20 @@ struct PdatOptions {
   std::string metrics_path;
   /// Free-form label stamped into metrics.json ("" = unlabeled).
   std::string run_label;
+  /// Certified solving (paranoid mode, DESIGN.md §5.10): every SAT verdict
+  /// that can keep a candidate alive or pass validation — induction proof
+  /// jobs, BMC frames, the equivalence miter — is DRAT-checked by the
+  /// independent in-tree checker before it is acted on. Forwards into
+  /// `induction.certify` and `validate.miter.certify`. A certificate that
+  /// fails to check raises StageError regardless of `strict`: no gate is
+  /// ever removed on the strength of an uncertified UNSAT. Reports are
+  /// byte-identical with certification on or off.
+  bool certify = false;
+  /// Cooperative interrupt (SIGINT/SIGTERM in the CLI). Checked at stage
+  /// boundaries and polled inside SAT solves; when it becomes true the
+  /// pipeline throws StageError regardless of `strict`, with checkpoint
+  /// journals retaining completed proof rounds for a later --resume.
+  const std::atomic<bool>* interrupt = nullptr;
   /// Stage failures throw StageError instead of degrading gracefully.
   bool strict = false;
   /// Post-transform validation (off by default; see src/validate/).

@@ -1,8 +1,15 @@
 #include "runtime/journal.h"
 
+#include <cstdlib>
 #include <filesystem>
 
 #include "base/types.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define PDAT_HAVE_FSYNC 1
+#endif
 
 namespace pdat::runtime {
 
@@ -27,7 +34,36 @@ std::uint64_t load_u64(const char* p) {
   return v;
 }
 
+bool fsync_disabled() {
+  static const bool disabled = std::getenv("PDAT_NO_FSYNC") != nullptr;
+  return disabled;
+}
+
+void sync_path(const char* path) {
+#ifdef PDAT_HAVE_FSYNC
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return;  // best-effort: see journal.h
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
 }  // namespace
+
+void durable_sync_file(const std::string& path) {
+  if (fsync_disabled()) return;
+  sync_path(path.c_str());
+}
+
+void durable_sync_parent(const std::string& path) {
+  if (fsync_disabled()) return;
+  std::error_code ec;
+  auto parent = std::filesystem::absolute(path, ec).parent_path();
+  if (ec || parent.empty()) return;
+  sync_path(parent.string().c_str());
+}
 
 std::uint64_t journal_checksum(std::uint32_t type, const std::string& payload) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -105,6 +141,8 @@ JournalWriter JournalWriter::create(const std::string& path) {
   put_u32(v, kVersion);
   w.out_.write(v.data(), static_cast<std::streamsize>(v.size()));
   w.out_.flush();
+  durable_sync_file(path);
+  durable_sync_parent(path);
   return w;
 }
 
@@ -132,6 +170,7 @@ void JournalWriter::append(std::uint32_t type, const std::string& payload) {
   out_.write(header.data(), static_cast<std::streamsize>(header.size()));
   out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   out_.flush();
+  durable_sync_file(path_);
 }
 
 }  // namespace pdat::runtime

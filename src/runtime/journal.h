@@ -31,6 +31,22 @@ struct JournalRecord {
 
 std::uint64_t journal_checksum(std::uint32_t type, const std::string& payload);
 
+// --- durability --------------------------------------------------------------
+// The longest-valid-prefix recovery story only holds under power loss if the
+// bytes the process flushed actually reached stable storage. These helpers
+// fsync a file (after its stream was flushed) and its containing directory
+// (after a create/rename, so the directory entry itself survives). Both are
+// no-ops when the PDAT_NO_FSYNC environment variable is set — tests and
+// benchmark runs do not want thousands of real disk syncs — and on
+// platforms without POSIX fsync.
+
+/// fsync the file at `path`. Silently ignores a file that cannot be opened
+/// (durability is best-effort on exotic filesystems; correctness of the
+/// recovery scan never depends on it).
+void durable_sync_file(const std::string& path);
+/// fsync the parent directory of `path`, making the directory entry durable.
+void durable_sync_parent(const std::string& path);
+
 // --- little-endian wire helpers (shared by checkpoint payload codecs) -------
 
 void put_u32(std::string& out, std::uint32_t v);

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "base/types.h"
 #include "trace/trace.h"
 
 namespace pdat::runtime {
@@ -35,10 +36,15 @@ std::vector<JobReport> Supervisor::run(std::size_t n, const JobFn& fn) {
   for (std::size_t j = 0; j < n; ++j) queue.push_back({j, 1, opt_.initial});
   std::size_t inflight = 0;
   bool all_done = false;
+  std::exception_ptr fatal;  // CertificationError escapes containment
 
   const auto past_deadline = [this] {
-    if (!opt_.has_deadline) return false;
     if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (opt_.interrupt != nullptr && opt_.interrupt->load(std::memory_order_relaxed)) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (!opt_.has_deadline) return false;
     if (std::chrono::steady_clock::now() >= opt_.deadline) {
       cancelled_.store(true, std::memory_order_relaxed);
       return true;
@@ -115,6 +121,17 @@ std::vector<JobReport> Supervisor::run(std::size_t n, const JobFn& fn) {
         if (busy_timing) t0 = std::chrono::steady_clock::now();
         try {
           status = fn(a.job, a.attempt, a.budget);
+        } catch (const CertificationError&) {
+          // Not contained: a failed certificate means the solver is
+          // unsound, so retrying or dropping this job would mask a bug
+          // that invalidates every other verdict too. Cancel the batch
+          // and rethrow from run().
+          lock.lock();
+          if (!fatal) fatal = std::current_exception();
+          cancelled_.store(true, std::memory_order_relaxed);
+          all_done = true;
+          cv.notify_all();
+          return;
         } catch (const std::exception& e) {
           crashed = true;
           error = e.what();
@@ -144,6 +161,7 @@ std::vector<JobReport> Supervisor::run(std::size_t n, const JobFn& fn) {
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
+  if (fatal) std::rethrow_exception(fatal);
   if (trace::collecting()) {
     for (const JobReport& r : reports) {
       trace::observe(trace::Histogram::RuntimeAttemptsPerJob,

@@ -11,6 +11,11 @@
 // is recorded, the worker survives, and the job is retried or dropped — one
 // pathological SAT query degrades that job, never the run.
 //
+// The one exception to containment is CertificationError: a certificate
+// that fails to check is evidence the solver (not the job) is unsound, so
+// retrying cannot help and degrading would hide it. The batch is cancelled
+// and run() rethrows the error to the caller.
+//
 // Determinism contract: the supervisor makes no result decisions — it only
 // schedules. As long as each job is a pure function of (job index, attempt,
 // budget) and the caller merges per-job results by index (never by
@@ -61,6 +66,10 @@ struct SupervisorOptions {
   /// whole batch as timed out, not merely unproved).
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
+  /// Optional cooperative interrupt (SIGINT/SIGTERM in the CLI). When it
+  /// becomes true, pending jobs are aborted exactly as if the deadline had
+  /// passed; the caller distinguishes the two by inspecting the flag.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 struct JobReport {

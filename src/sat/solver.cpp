@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/types.h"
+#include "sat/dratcheck.h"
 #include "trace/trace.h"
 
 namespace pdat::sat {
@@ -78,6 +80,11 @@ void Solver::detach_clause(ClauseRef cref) {
 
 bool Solver::add_clause(std::vector<Lit> lits) {
   if (!ok_) return false;
+  // Log the clause as handed in, before canonicalization: the checker does
+  // its own dedup/tautology handling, and dropping root-false literals here
+  // is exactly root propagation, which the checker reproduces (its root
+  // assignment grows through the same lines in the same order).
+  if (drat_ != nullptr) drat_->append(DratLineKind::Original, lits.data(), lits.size());
   if (decision_level() != 0) cancel_until(0);
   std::sort(lits.begin(), lits.end(), [](Lit a, Lit b) { return a.x < b.x; });
   // Remove duplicates; detect tautology.
@@ -96,6 +103,10 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     prev = p;
   }
   if (out.empty()) {
+    // Every literal was root-false (or the clause was empty): keep the
+    // original literals so a later proof snapshot can re-derive ok_ == false.
+    root_conflict_clause_ = lits;
+    have_root_conflict_clause_ = true;
     ok_ = false;
     return false;
   }
@@ -108,6 +119,32 @@ bool Solver::add_clause(std::vector<Lit> lits) {
   problem_clauses_.push_back(cref);
   attach_clause(cref);
   return true;
+}
+
+void Solver::start_proof(DratLog* log) {
+  drat_ = log;
+  if (log == nullptr) return;
+  if (!learnts_.empty())
+    throw PdatError("start_proof: solver already holds learnt clauses; the snapshot "
+                    "cannot vouch for clauses derived by search");
+  if (decision_level() != 0) cancel_until(0);
+  // Snapshot the database as Original lines. Root-level *propagated* units
+  // (reason != kNoClause) are deliberately omitted: the checker re-derives
+  // them itself, keeping the trusted surface to actual input clauses. Units
+  // that came in as (canonicalized) unit input clauses have no stored clause
+  // to replay, so they are logged directly.
+  for (const ClauseRef cref : problem_clauses_) {
+    const Clause& c = clauses_[cref];
+    log->append(DratLineKind::Original, &arena_[c.offset], c.size);
+  }
+  for (const Lit p : trail_) {
+    if (reason_[static_cast<std::size_t>(p.var())] == kNoClause)
+      log->append(DratLineKind::Original, &p, 1);
+  }
+  if (!ok_ && have_root_conflict_clause_) {
+    log->append(DratLineKind::Original, root_conflict_clause_.data(),
+                root_conflict_clause_.size());
+  }
 }
 
 void Solver::uncheck_enqueue(Lit p, ClauseRef from) {
@@ -364,6 +401,10 @@ void Solver::reduce_db() {
     if (i < target || locked[sorted[i]] || clauses_[sorted[i]].lbd <= 2) {
       keep.push_back(sorted[i]);
     } else {
+      if (drat_ != nullptr) {
+        const Clause& c = clauses_[sorted[i]];
+        drat_->append(DratLineKind::Delete, &arena_[c.offset], c.size);
+      }
       detach_clause(sorted[i]);
     }
   }
@@ -443,6 +484,15 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions, const So
       int btlevel;
       std::uint32_t lbd;
       analyze(confl, learnt, btlevel, lbd);
+      if (corrupt_next_learnt_ && learnt.size() >= 3) {
+        // Deliberate mis-learn (test hook): negating the asserting literal
+        // records the opposite of what conflict analysis derived, so the
+        // logged clause is (almost) never RUP. Size and watch positions are
+        // unchanged, so the solver keeps running — just unsoundly.
+        learnt[0] = ~learnt[0];
+        corrupt_next_learnt_ = false;
+      }
+      if (drat_ != nullptr) drat_->append(DratLineKind::Add, learnt.data(), learnt.size());
       if (stats_collect_) {
         ++learned_clauses_;
         learned_literals_ += learnt.size();
@@ -482,6 +532,10 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions, const So
           return SolveResult::Unknown;
         }
         if (limits.interrupt != nullptr && limits.interrupt->load(std::memory_order_relaxed)) {
+          cancel_until(0);
+          return SolveResult::Unknown;
+        }
+        if (limits.interrupt2 != nullptr && limits.interrupt2->load(std::memory_order_relaxed)) {
           cancel_until(0);
           return SolveResult::Unknown;
         }

@@ -40,6 +40,8 @@ enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
 
 enum class SolveResult { Sat, Unsat, Unknown };
 
+class DratLog;  // sat/dratcheck.h
+
 /// Per-call resource limits for the supervised proof runtime. Conflict and
 /// memory limits are deterministic (a pure function of the solver run);
 /// wall-clock and the interrupt flag are not, and callers that need
@@ -50,6 +52,10 @@ struct SolveLimits {
   double wall_seconds = 0;               // from call start; 0 = unlimited
   std::size_t memory_bytes = 0;          // clause-arena estimate; 0 = unlimited
   const std::atomic<bool>* interrupt = nullptr;  // cooperative cancel
+  /// Second cancel source, checked alongside `interrupt`. Lets a job wire
+  /// both the supervisor's batch-cancel flag and a process-level
+  /// SIGINT/SIGTERM flag without multiplexing them through one atomic.
+  const std::atomic<bool>* interrupt2 = nullptr;
 };
 
 class Solver {
@@ -99,6 +105,24 @@ class Solver {
 
   bool okay() const { return ok_; }
 
+  /// Attaches incremental DRAT proof logging (sat/dratcheck.h). The current
+  /// clause database is snapshotted into the log as Original lines (problem
+  /// clauses, root-level unit clauses, and the clause that made the solver
+  /// unsatisfiable, if any), so logging may be attached to a solver copied
+  /// from a shared CNF template. Must be called before any clause has been
+  /// learnt — the snapshot cannot vouch for clauses derived by search —
+  /// and throws PdatError otherwise. Disabled logging costs one branch per
+  /// emission site. Pass nullptr (or call stop_proof) to detach.
+  void start_proof(DratLog* log);
+  void stop_proof() { drat_ = nullptr; }
+
+  /// Test hook (ISSUE 6 acceptance): deliberately corrupts the next learnt
+  /// clause of size >= 3 by dropping its last literal, in both the clause
+  /// database and the proof log — a single mis-learnt clause the DRAT
+  /// checker must catch. Size < 3 learnts keep the hook armed so the
+  /// corruption never turns a binary clause into a bogus unit.
+  void test_corrupt_next_learnt() { corrupt_next_learnt_ = true; }
+
   // Statistics. Cumulative over the solver's lifetime; per-call deltas are
   // flushed to the global telemetry counters (src/trace/) when collection is
   // enabled, one flush per solve() call so the conflict loop stays clean.
@@ -144,6 +168,14 @@ class Solver {
   // VSIDS order: binary heap keyed by activity.
   std::vector<Var> heap_;
   std::vector<int> heap_pos_;
+
+  // Proof logging (null = off). root_conflict_clause_ preserves the original
+  // literals of the add_clause call that canonicalized to the empty clause,
+  // so a later start_proof snapshot can still justify ok_ == false.
+  DratLog* drat_ = nullptr;
+  std::vector<Lit> root_conflict_clause_;
+  bool have_root_conflict_clause_ = false;
+  bool corrupt_next_learnt_ = false;
 
   double var_inc_ = 1.0;
   double var_decay_ = 0.95;

@@ -80,6 +80,17 @@ constexpr MetricDef kCounterDefs[] = {
      "jobs cancelled by the global wall-clock deadline (timing-dependent)"},
     {MetricKind::Counter, "runtime.worker_busy_micros", "micros", false,
      "summed wall-clock time workers spent executing job attempts"},
+    // The cert.* family is populated only under --certify, so it is kept out
+    // of the deterministic subtree: the subtree must be certificate-invariant
+    // (identical with certification on or off).
+    {MetricKind::Counter, "cert.certificates_emitted", "1", false,
+     "solve verdicts handed to the DRAT checker for certification"},
+    {MetricKind::Counter, "cert.certificates_checked", "1", false,
+     "certificates the independent checker accepted"},
+    {MetricKind::Counter, "cert.certificates_failed", "1", false,
+     "certificates rejected (each raises CertificationError; must be 0)"},
+    {MetricKind::Counter, "cert.proof_bytes", "bytes", false,
+     "in-memory DRAT trace bytes replayed by the checker"},
 };
 static_assert(std::size(kCounterDefs) == kNumCounters,
               "every Counter enumerator needs a registry row");
@@ -99,6 +110,10 @@ constexpr MetricDef kHistogramDefs[] = {
      "candidates removed per fixpoint round (base case included)"},
     {MetricKind::Histogram, "coi.cone_cells", "cells", true,
      "cells (combinational + flops) per cone across all partitions"},
+    {MetricKind::Histogram, "cert.check_micros", "micros", false,
+     "wall-clock time per certificate check (trace replay + verdict check)"},
+    {MetricKind::Histogram, "cert.proof_lines", "lines", false,
+     "DRAT lines replayed per certificate check"},
 };
 static_assert(std::size(kHistogramDefs) == kNumHistograms,
               "every Histogram enumerator needs a registry row");

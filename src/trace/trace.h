@@ -91,6 +91,11 @@ enum class Counter : unsigned {
   RuntimeJobCrashes,
   RuntimeJobAborts,
   RuntimeWorkerBusyMicros,
+  // Certified solving (--certify).
+  CertCertificatesEmitted,
+  CertCertificatesChecked,
+  CertCertificatesFailed,
+  CertProofBytes,
   kCount,
 };
 inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
@@ -103,6 +108,8 @@ enum class Histogram : unsigned {
   RuntimeAttemptsPerJob,
   InductionRoundKills,
   CoiConeCells,
+  CertCheckMicros,
+  CertProofLines,
   kCount,
 };
 inline constexpr std::size_t kNumHistograms = static_cast<std::size_t>(Histogram::kCount);

@@ -1,9 +1,11 @@
 #include "validate/miter.h"
 
 #include <chrono>
+#include <optional>
 
 #include "formal/cnf_encoder.h"
 #include "pdat/rewire.h"
+#include "sat/dratcheck.h"
 #include "sat/solver.h"
 
 namespace pdat::validate {
@@ -45,6 +47,8 @@ StageOutcome run_miter(const Netlist& A, const Netlist& B, const Environment* en
                        std::chrono::steady_clock::time_point deadline, bool has_deadline) {
   StageOutcome out;
   sat::Solver s;
+  std::optional<sat::CertifySession> cert;
+  if (opt.certify) cert.emplace(s);
   if (has_deadline) s.set_deadline(deadline);
 
   FrameEncoder ea(A);
@@ -115,6 +119,7 @@ StageOutcome run_miter(const Netlist& A, const Netlist& B, const Environment* en
   s.add_clause(std::move(any_diff));
 
   const sat::SolveResult r = s.solve({}, opt.conflict_budget);
+  if (cert.has_value()) cert->check(r, {}, tag);
   out.conflicts = s.num_conflicts();
   switch (r) {
     case sat::SolveResult::Unsat:

@@ -37,6 +37,11 @@ struct MiterOptions {
   std::int64_t conflict_budget = -1;
   /// Wall-clock deadline for both stages together; 0 = unlimited.
   double deadline_seconds = 0;
+  /// Certified solving (DESIGN.md §5.10): DRAT-check the aggregated
+  /// equivalence verdict of each stage with the independent checker. A
+  /// failed check raises CertificationError — a Pass is never reported on
+  /// the strength of an unchecked Unsat.
+  bool certify = false;
 };
 
 struct MiterResult {

@@ -220,5 +220,54 @@ TEST(ProofCache, FlushAfterFileDeletedRecreatesIt) {
   std::filesystem::remove(path);
 }
 
+TEST(ProofCache, UpdateUpgradesInPlaceAcrossReopen) {
+  const std::string path = tmp_path("update.pdatpc");
+  std::filesystem::remove(path);
+  {
+    ProofCache pc(path);
+    EXPECT_TRUE(pc.insert(key_of(0), "uncertified"));
+    pc.flush();
+    // insert() is first-wins: a second insert of the same key is a no-op.
+    EXPECT_FALSE(pc.insert(key_of(0), "certified"));
+    EXPECT_EQ(*pc.lookup(key_of(0)), "uncertified");
+    // update() overwrites in memory and appends a superseding record.
+    EXPECT_TRUE(pc.update(key_of(0), "certified"));
+    EXPECT_EQ(*pc.lookup(key_of(0)), "certified");
+    pc.flush();
+  }
+  // The file now holds both records; load resolves last-record-wins.
+  ProofCache reopened(path);
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_EQ(*reopened.lookup(key_of(0)), "certified");
+  std::filesystem::remove(path);
+}
+
+TEST(ProofCache, UpdateWithIdenticalPayloadIsANoOp) {
+  const std::string path = tmp_path("update_noop.pdatpc");
+  std::filesystem::remove(path);
+  ProofCache pc(path);
+  EXPECT_TRUE(pc.insert(key_of(0), "same"));
+  pc.flush();
+  const auto bytes_before = std::filesystem::file_size(path);
+  EXPECT_FALSE(pc.update(key_of(0), "same"));
+  pc.flush();
+  EXPECT_EQ(std::filesystem::file_size(path), bytes_before)
+      << "a no-op update must not grow the file";
+  std::filesystem::remove(path);
+}
+
+TEST(ProofCache, UpdateOfAMissingKeyInserts) {
+  const std::string path = tmp_path("update_insert.pdatpc");
+  std::filesystem::remove(path);
+  {
+    ProofCache pc(path);
+    EXPECT_TRUE(pc.update(key_of(7), payload_of(7)));
+    pc.flush();
+  }
+  ProofCache reopened(path);
+  EXPECT_EQ(*reopened.lookup(key_of(7)), payload_of(7));
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace pdat

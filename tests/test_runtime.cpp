@@ -3,6 +3,7 @@
 // determinism contract (worker count and resume point never change results).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -298,6 +299,44 @@ TEST(Supervisor, CrashIsContainedRetriedAndRecorded) {
   EXPECT_FALSE(reports[2].crashed);
   EXPECT_EQ(sup.stats().crashes, 3u);
   EXPECT_EQ(sup.stats().drops, 1u);
+}
+
+TEST(Supervisor, CertificationErrorIsNeverContained) {
+  // A failed certificate means the solver is unsound — containment (retry,
+  // drop-and-continue) would re-trust it, so run() must rethrow instead.
+  for (const int threads : {1, 4}) {
+    rt::SupervisorOptions opt;
+    opt.threads = threads;
+    opt.max_attempts = 3;
+    rt::Supervisor sup(opt);
+    std::atomic<int> attempts{0};
+    EXPECT_THROW(sup.run(8,
+                         [&](std::size_t j, int, const rt::JobBudget&) {
+                           attempts.fetch_add(1);
+                           if (j == 3) throw CertificationError("UNSAT certificate rejected");
+                           return rt::JobStatus::Done;
+                         }),
+                 CertificationError)
+        << "threads=" << threads;
+    EXPECT_TRUE(sup.cancelled().load()) << "threads=" << threads;
+    EXPECT_LE(attempts.load(), 8) << "the failure must cancel, never retry";
+  }
+}
+
+TEST(Supervisor, InterruptFlagAbortsLikeADeadline) {
+  rt::SupervisorOptions opt;
+  opt.threads = 1;
+  std::atomic<bool> interrupt{true};  // tripped before the run starts
+  opt.interrupt = &interrupt;
+  rt::Supervisor sup(opt);
+  int executed = 0;
+  const auto reports = sup.run(4, [&](std::size_t, int, const rt::JobBudget&) {
+    ++executed;
+    return rt::JobStatus::Done;
+  });
+  EXPECT_EQ(executed, 0) << "no job may start once the interrupt is set";
+  for (const auto& r : reports) EXPECT_TRUE(r.aborted);
+  EXPECT_TRUE(sup.cancelled().load());
 }
 
 TEST(Supervisor, ExpiredDeadlineAbortsJobsAndSetsCancelFlag) {
