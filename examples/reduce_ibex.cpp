@@ -36,12 +36,26 @@
 //                   verdict that can remove a gate with the independent
 //                   in-tree checker; a failed certificate aborts the run.
 //                   Reports are byte-identical with or without this flag
+//   --isolation=MODE  thread (default) or process: run every proof-job
+//                   attempt in a forked child so a solver crash or runaway
+//                   allocation is contained by the OS and retried/dropped
+//                   by the supervisor instead of killing the run. Reports
+//                   are byte-identical across modes for crash-free runs
+//   --job-rlimit-mb=N   with --isolation=process: cap each child's address
+//                   space (RLIMIT_AS) at N MiB; an allocation past the cap
+//                   fails in the child, not the run
+//   --job-rlimit-cpu=N  with --isolation=process: cap each child's CPU time
+//                   (RLIMIT_CPU) at N seconds; expiry delivers SIGXCPU
+//   --list-failpoints   print the registered fault-injection sites (armed
+//                   via PDAT_FAILPOINTS; see README) and exit
 //
 // SIGINT/SIGTERM interrupt the run cooperatively: the proof journal keeps
 // every completed round, a resume command is printed, and the process exits
-// with status 75 (resumable) instead of 1.
+// with status 75 (resumable) instead of 1. A second signal exits
+// immediately with the conventional 128+signo status.
 #include <atomic>
 #include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -54,6 +68,8 @@
 #include "netlist/verilog.h"
 #include "opt/optimizer.h"
 #include "pdat/pipeline.h"
+#include "runtime/procworker.h"
+#include "util/failpoint.h"
 #include "workload/mibench.h"
 
 using namespace pdat;
@@ -61,11 +77,36 @@ using namespace pdat;
 namespace {
 
 /// Tripped by SIGINT/SIGTERM; polled by the pipeline at stage boundaries and
-/// inside SAT solves. sig_atomic_t-free: std::atomic<bool> is lock-free and
-/// async-signal-safe to store on every supported platform.
+/// inside SAT solves. The handler body is strictly async-signal-safe: one
+/// lock-free atomic load/store pair and (on a second signal) _Exit — no
+/// stream I/O, no allocation; the resume hint is printed from the main
+/// thread once the pipeline unwinds.
 std::atomic<bool> g_interrupt{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler stores to g_interrupt must be lock-free");
 
-extern "C" void on_interrupt(int) { g_interrupt.store(true, std::memory_order_relaxed); }
+extern "C" void on_interrupt(int sig) {
+  // Second signal: the user is done waiting. _Exit without unwinding —
+  // running destructors from a handler is not async-signal-safe.
+  if (g_interrupt.load(std::memory_order_relaxed)) std::_Exit(128 + sig);
+  g_interrupt.store(true, std::memory_order_relaxed);
+}
+
+void install_signal_handlers() {
+#if defined(__unix__) || defined(__APPLE__)
+  // SA_RESTART so a signal mid-read doesn't surface as a spurious EINTR
+  // I/O failure somewhere unrelated; the run stops at the next poll point.
+  struct sigaction sa = {};
+  sa.sa_handler = on_interrupt;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+#else
+  std::signal(SIGINT, on_interrupt);
+  std::signal(SIGTERM, on_interrupt);
+#endif
+}
 
 /// Exit status for a run stopped by SIGINT/SIGTERM with its journal intact
 /// (EX_TEMPFAIL: rerunning with --resume will continue the work).
@@ -116,10 +157,30 @@ int main(int argc, char** argv) {
   bool coi = true;
   bool certify = false;
   int threads = 1;
+  runtime::Isolation isolation = runtime::Isolation::Thread;
+  std::size_t job_rlimit_mb = 0;
+  long job_rlimit_cpu = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
       threads = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--isolation=", 0) == 0) {
+      const std::string mode = arg.substr(12);
+      if (mode == "thread") {
+        isolation = runtime::Isolation::Thread;
+      } else if (mode == "process") {
+        isolation = runtime::Isolation::Process;
+      } else {
+        std::cerr << "unknown --isolation mode '" << mode << "' (thread|process)\n";
+        return 2;
+      }
+    } else if (arg.rfind("--job-rlimit-mb=", 0) == 0) {
+      job_rlimit_mb = std::stoul(arg.substr(16));
+    } else if (arg.rfind("--job-rlimit-cpu=", 0) == 0) {
+      job_rlimit_cpu = std::stol(arg.substr(17));
+    } else if (arg == "--list-failpoints") {
+      for (const std::string& site : util::failpoint_sites()) std::cout << site << "\n";
+      return 0;
     } else if (arg.rfind("--journal=", 0) == 0) {
       journal_path = arg.substr(10);
     } else if (arg.rfind("--resume=", 0) == 0) {
@@ -162,6 +223,9 @@ int main(int argc, char** argv) {
 
   PdatOptions opt;
   opt.induction.threads = threads;
+  opt.isolation = isolation;
+  opt.job_rlimit_mb = job_rlimit_mb;
+  opt.job_rlimit_cpu_seconds = job_rlimit_cpu;
   opt.checkpoint_journal = journal_path;
   opt.resume_from = resume_path;
   opt.trace_path = trace_path;
@@ -171,8 +235,7 @@ int main(int argc, char** argv) {
   opt.run_label = "reduce_ibex:" + subset_name;
   opt.certify = certify;
   opt.interrupt = &g_interrupt;
-  std::signal(SIGINT, on_interrupt);
-  std::signal(SIGTERM, on_interrupt);
+  install_signal_handlers();
 
   const auto instr_q = core.instr_reg_q;
   PdatResult res;

@@ -10,6 +10,11 @@
 //   ./secure_m0 [flags]
 //     --certify           DRAT-check every gate-removing SAT verdict
 //     --threads=N         proof-job worker threads (bit-identical results)
+//     --isolation=MODE    thread (default) or process: fork-per-attempt
+//                         crash containment (byte-identical reports for
+//                         crash-free runs in either mode)
+//     --job-rlimit-mb=N   process mode: RLIMIT_AS cap per child, MiB
+//     --job-rlimit-cpu=N  process mode: RLIMIT_CPU cap per child, seconds
 //     --report=PATH       timing-free result report (byte-comparable runs)
 //     --metrics=PATH      versioned pdat-metrics JSON (docs/telemetry.md)
 //     --proof-cache=PATH  content-addressed proof cache
@@ -30,6 +35,9 @@ using namespace pdat;
 int main(int argc, char** argv) {
   bool certify = false;
   int threads = 1;
+  runtime::Isolation isolation = runtime::Isolation::Thread;
+  std::size_t job_rlimit_mb = 0;
+  long job_rlimit_cpu = 0;
   std::string report_path, metrics_path, proof_cache_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -37,6 +45,20 @@ int main(int argc, char** argv) {
       certify = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--isolation=", 0) == 0) {
+      const std::string mode = arg.substr(12);
+      if (mode == "thread") {
+        isolation = runtime::Isolation::Thread;
+      } else if (mode == "process") {
+        isolation = runtime::Isolation::Process;
+      } else {
+        std::cerr << "unknown --isolation mode '" << mode << "' (thread|process)\n";
+        return 2;
+      }
+    } else if (arg.rfind("--job-rlimit-mb=", 0) == 0) {
+      job_rlimit_mb = std::stoul(arg.substr(16));
+    } else if (arg.rfind("--job-rlimit-cpu=", 0) == 0) {
+      job_rlimit_cpu = std::stol(arg.substr(17));
     } else if (arg.rfind("--report=", 0) == 0) {
       report_path = arg.substr(9);
     } else if (arg.rfind("--metrics=", 0) == 0) {
@@ -66,6 +88,9 @@ int main(int argc, char** argv) {
   PdatOptions opt;
   opt.certify = certify;
   opt.induction.threads = threads;
+  opt.isolation = isolation;
+  opt.job_rlimit_mb = job_rlimit_mb;
+  opt.job_rlimit_cpu_seconds = job_rlimit_cpu;
   opt.metrics_path = metrics_path;
   opt.proof_cache_path = proof_cache_path;
   opt.run_label = "secure_m0";

@@ -1,6 +1,7 @@
 #include "formal/induction.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <deque>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "formal/proofcache.h"
 #include "runtime/checkpoint.h"
 #include "runtime/journal.h"
+#include "runtime/procworker.h"
 #include "runtime/supervisor.h"
 #include "sat/dratcheck.h"
 #include "sim/bitsim.h"
@@ -277,6 +279,13 @@ struct Engine {
   bool coi = false;            // localize rounds into support-closed cones
   bool cache_store_ok = false; // only deterministic attempts are stored
   bool certify = false;        // DRAT-check every proof-job SAT verdict
+  /// Process isolation is active (opt.isolation == Process on a platform
+  /// with fork): job attempts run in forked children against copy-on-write
+  /// memory, so every side effect the round barrier needs — the job's
+  /// pending/outcome state, probe accounting, deferred cache stores, and
+  /// child-side telemetry — is recorded per attempt (AttemptFx) and shipped
+  /// back through the supervisor's ProcResultCodec (proc_encode/proc_apply).
+  bool proc = false;
   /// Engine-level probe outcomes (what InductionStats reports). These can
   /// differ from the ProofCache's own file-level stats: a certified run
   /// rejects uncertified records, which the file still counts as hits.
@@ -325,6 +334,177 @@ struct Engine {
     alive_hash = h;
   }
 
+  // --- process-isolation result codec ---------------------------------------
+  // A forked child's writes die with its copy-on-write memory, so the child
+  // serializes one attempt's full effect and the parent replays it before
+  // the supervisor settles the attempt. pending/outcome state ships *whole*
+  // (apply overwrites), so a retry child forks from exactly the state a
+  // thread-mode retry would observe, keeping the two modes byte-identical.
+
+  struct CacheStoreRec {
+    CacheKey key{};
+    bool certified = false;
+    std::string payload;
+  };
+
+  /// One attempt's recorded side effects (child-side in process mode).
+  /// Telemetry ships as deltas against a snapshot taken at attempt entry:
+  /// the child inherits the parent's totals through fork, so end-minus-base
+  /// is exactly what this attempt added.
+  struct AttemptFx {
+    std::uint64_t hits = 0;    // engine-level cache-probe hits
+    std::uint64_t misses = 0;  // engine-level cache-probe misses
+    std::vector<CacheStoreRec> stores;
+    bool traced = false;
+    std::array<std::uint64_t, trace::kNumCounters> base_counters{};
+    std::array<trace::HistogramSnapshot, trace::kNumHistograms> base_hists{};
+  };
+  mutable std::vector<AttemptFx> fx;  // one slot per job, reset per round
+
+  /// Child-side bookkeeping at attempt entry (no-op in thread mode): clears
+  /// this job's fx slot and snapshots telemetry for delta encoding.
+  void attempt_begin(std::size_t jid) const {
+    if (!proc) return;
+    AttemptFx& f = fx[jid];
+    f.hits = 0;
+    f.misses = 0;
+    f.stores.clear();
+    f.traced = trace::collecting();
+    if (f.traced) {
+      for (std::size_t c = 0; c < trace::kNumCounters; ++c) {
+        f.base_counters[c] = trace::counter_value(static_cast<trace::Counter>(c));
+      }
+      for (std::size_t h = 0; h < trace::kNumHistograms; ++h) {
+        f.base_hists[h] = trace::histogram_snapshot(static_cast<trace::Histogram>(h));
+      }
+    }
+  }
+
+  /// Runs in the child after the job function returns (ProcResultCodec
+  /// contract): serializes the attempt's effect for the parent.
+  std::string proc_encode(std::size_t j, const std::vector<std::vector<std::uint32_t>>& pending,
+                          const std::vector<JobOutcome>& outcomes) const {
+    const AttemptFx& f = fx[j];
+    std::string p;
+    runtime::put_u32(p, static_cast<std::uint32_t>(pending[j].size()));
+    for (const std::uint32_t m : pending[j]) runtime::put_u32(p, m);
+    runtime::put_u64(p, outcomes[j].sat_calls);
+    runtime::put_u32(p, static_cast<std::uint32_t>(outcomes[j].kills.size()));
+    for (const std::uint32_t k : outcomes[j].kills) runtime::put_u32(p, k);
+    runtime::put_u64(p, f.hits);
+    runtime::put_u64(p, f.misses);
+    runtime::put_u32(p, static_cast<std::uint32_t>(f.stores.size()));
+    for (const CacheStoreRec& s : f.stores) {
+      runtime::put_u64(p, s.key.lo);
+      runtime::put_u64(p, s.key.hi);
+      runtime::put_u32(p, s.certified ? 1 : 0);
+      runtime::put_u32(p, static_cast<std::uint32_t>(s.payload.size()));
+      p += s.payload;
+    }
+    runtime::put_u32(p, f.traced ? 1 : 0);
+    if (f.traced) {
+      runtime::put_u32(p, static_cast<std::uint32_t>(trace::kNumCounters));
+      for (std::size_t c = 0; c < trace::kNumCounters; ++c) {
+        runtime::put_u64(p, trace::counter_value(static_cast<trace::Counter>(c)) -
+                                f.base_counters[c]);
+      }
+      runtime::put_u32(p, static_cast<std::uint32_t>(trace::kNumHistograms));
+      for (std::size_t h = 0; h < trace::kNumHistograms; ++h) {
+        const trace::HistogramSnapshot now =
+            trace::histogram_snapshot(static_cast<trace::Histogram>(h));
+        const trace::HistogramSnapshot& base = f.base_hists[h];
+        for (std::size_t b = 0; b < trace::kHistogramBuckets; ++b) {
+          runtime::put_u64(p, now.buckets[b] - base.buckets[b]);
+        }
+        runtime::put_u64(p, now.count - base.count);
+        runtime::put_u64(p, now.sum - base.sum);
+        runtime::put_u64(p, now.max);  // absolute; folds via max()
+      }
+    }
+    return p;
+  }
+
+  /// Runs in the parent when the result record arrives: decodes fully, then
+  /// commits — a malformed payload throws before any state changes and the
+  /// supervisor degrades the attempt to the retry ladder.
+  void proc_apply(std::size_t j, const std::string& payload,
+                  std::vector<std::vector<std::uint32_t>>& pending,
+                  std::vector<JobOutcome>& outcomes) const {
+    std::size_t pos = 0;
+    std::vector<std::uint32_t> pend(runtime::get_u32(payload, pos));
+    for (std::uint32_t& m : pend) m = runtime::get_u32(payload, pos);
+    JobOutcome out;
+    out.sat_calls = runtime::get_u64(payload, pos);
+    out.kills.resize(runtime::get_u32(payload, pos));
+    for (std::uint32_t& k : out.kills) k = runtime::get_u32(payload, pos);
+    const std::uint64_t hits = runtime::get_u64(payload, pos);
+    const std::uint64_t misses = runtime::get_u64(payload, pos);
+    std::vector<CacheStoreRec> stores(runtime::get_u32(payload, pos));
+    for (CacheStoreRec& s : stores) {
+      s.key.lo = runtime::get_u64(payload, pos);
+      s.key.hi = runtime::get_u64(payload, pos);
+      s.certified = runtime::get_u32(payload, pos) != 0;
+      const std::uint32_t len = runtime::get_u32(payload, pos);
+      if (payload.size() - pos < len) throw PdatError("proc_apply: truncated cache store");
+      s.payload = payload.substr(pos, len);
+      pos += len;
+    }
+    std::array<std::uint64_t, trace::kNumCounters> counter_delta{};
+    std::array<trace::HistogramSnapshot, trace::kNumHistograms> hist_delta{};
+    const bool traced = runtime::get_u32(payload, pos) != 0;
+    if (traced) {
+      if (runtime::get_u32(payload, pos) != trace::kNumCounters) {
+        throw PdatError("proc_apply: counter table size mismatch");
+      }
+      for (std::uint64_t& d : counter_delta) d = runtime::get_u64(payload, pos);
+      if (runtime::get_u32(payload, pos) != trace::kNumHistograms) {
+        throw PdatError("proc_apply: histogram table size mismatch");
+      }
+      for (trace::HistogramSnapshot& d : hist_delta) {
+        for (std::size_t b = 0; b < trace::kHistogramBuckets; ++b) {
+          d.buckets[b] = runtime::get_u64(payload, pos);
+        }
+        d.count = runtime::get_u64(payload, pos);
+        d.sum = runtime::get_u64(payload, pos);
+        d.max = runtime::get_u64(payload, pos);
+      }
+    }
+    // Decode complete — commit.
+    pending[j] = std::move(pend);
+    outcomes[j] = std::move(out);
+    probe_hits.fetch_add(hits, std::memory_order_relaxed);
+    probe_misses.fetch_add(misses, std::memory_order_relaxed);
+    for (CacheStoreRec& s : stores) {
+      if (cache == nullptr) break;
+      const bool stored = s.certified ? cache->update(s.key, std::move(s.payload))
+                                      : cache->insert(s.key, std::move(s.payload));
+      if (stored) trace::add(trace::Counter::ProofCacheStores, 1);
+    }
+    if (traced && trace::collecting()) {
+      for (std::size_t c = 0; c < trace::kNumCounters; ++c) {
+        if (counter_delta[c] != 0) {
+          trace::add(static_cast<trace::Counter>(c), counter_delta[c]);
+        }
+      }
+      for (std::size_t h = 0; h < trace::kNumHistograms; ++h) {
+        trace::merge(static_cast<trace::Histogram>(h), hist_delta[h]);
+      }
+    }
+  }
+
+  runtime::ProcResultCodec make_codec(std::vector<std::vector<std::uint32_t>>& pending,
+                                      std::vector<JobOutcome>& outcomes) const {
+    runtime::ProcResultCodec c;
+    if (!proc) return c;
+    c.encode = [this, &pending, &outcomes](std::size_t j) {
+      return proc_encode(j, pending, outcomes);
+    };
+    c.apply = [this, &pending, &outcomes](std::size_t j, const std::string& p) {
+      proc_apply(j, p, pending, outcomes);
+    };
+    return c;
+  }
+
   CacheKey global_job_key(int phase, int round, std::size_t jid,
                           const std::vector<std::uint32_t>& members,
                           const runtime::JobBudget& budget) const {
@@ -345,29 +525,48 @@ struct Engine {
     return h.digest();
   }
 
-  std::optional<CachedOutcome> cache_probe(const CacheKey& key) const {
+  std::optional<CachedOutcome> cache_probe(std::size_t jid, const CacheKey& key) const {
+    // In process mode the probe runs in a forked child, whose atomics are
+    // copy-on-write ghosts: record the verdict in the fx slot instead and
+    // let proc_apply bump the real atomics (the trace counters ride along
+    // in the attempt's counter deltas).
     if (const auto hit = cache->lookup(key)) {
       if (auto o = decode_outcome(*hit)) {
         // A certified run never trusts a record an uncertified run wrote:
         // treat it as a miss, re-prove under the checker, and upgrade it.
         if (!certify || o->certified) {
-          probe_hits.fetch_add(1, std::memory_order_relaxed);
+          if (proc) {
+            ++fx[jid].hits;
+          } else {
+            probe_hits.fetch_add(1, std::memory_order_relaxed);
+          }
           trace::add(trace::Counter::ProofCacheHits, 1);
           return o;
         }
       }
     }
-    probe_misses.fetch_add(1, std::memory_order_relaxed);
+    if (proc) {
+      ++fx[jid].misses;
+    } else {
+      probe_misses.fetch_add(1, std::memory_order_relaxed);
+    }
     trace::add(trace::Counter::ProofCacheMisses, 1);
     return std::nullopt;
   }
 
-  void cache_store(const CacheKey& key, runtime::JobStatus status, std::uint64_t sat_calls,
-                   const std::vector<std::uint32_t>& kills,
+  void cache_store(std::size_t jid, const CacheKey& key, runtime::JobStatus status,
+                   std::uint64_t sat_calls, const std::vector<std::uint32_t>& kills,
                    const std::vector<std::uint32_t>& pending, bool certified,
                    std::uint64_t cert_hash) const {
     if (cache == nullptr || !cache_store_ok) return;
     std::string payload = encode_outcome(status, sat_calls, kills, pending, certified, cert_hash);
+    if (proc) {
+      // A child cannot mutate the parent's cache; defer the store to
+      // proc_apply, which also settles the insert-vs-update race under the
+      // cache's usual first-wins/upgrade rules.
+      fx[jid].stores.push_back({key, certified, std::move(payload)});
+      return;
+    }
     // Certified outcomes overwrite (upgrade) whatever is recorded; an
     // uncertified outcome never downgrades an existing record.
     const bool stored = certified ? cache->update(key, std::move(payload))
@@ -392,6 +591,9 @@ struct Engine {
     sopt.initial.conflicts = opt.conflict_budget;
     sopt.initial.wall_seconds = opt.job_wall_seconds;
     sopt.initial.memory_bytes = opt.job_memory_bytes;
+    sopt.isolation = opt.isolation;
+    sopt.proc_limits.address_space_bytes = opt.job_rlimit_bytes;
+    sopt.proc_limits.cpu_seconds = opt.job_rlimit_cpu_seconds;
     if (dl.armed) {
       sopt.has_deadline = true;
       sopt.deadline = dl.at;
@@ -501,6 +703,8 @@ struct Engine {
     st.job_retries += sup_stats.retries;
     st.job_drops += sup_stats.drops;
     st.job_crashes += sup_stats.crashes;
+    st.proc_restarts += sup_stats.proc_restarts;
+    st.proc_kills += sup_stats.proc_kills;
     return removed;
   }
 
@@ -556,16 +760,19 @@ struct Engine {
     auto batches = shard_alive(alive, opt.batch_size);
     std::vector<std::vector<std::uint32_t>> pending = batches;
     std::vector<JobOutcome> outcomes(batches.size());
+    if (proc) fx.assign(batches.size(), {});
     if (cache != nullptr) refresh_alive_hash();
 
     runtime::Supervisor sup(supervisor_options());
+    const runtime::ProcResultCodec codec = make_codec(pending, outcomes);
     const auto job = [&](std::size_t jid, int /*attempt*/, const runtime::JobBudget& budget) {
+      attempt_begin(jid);  // proc mode: reset fx slot, snapshot telemetry
       auto& members = pending[jid];
       JobOutcome& out = outcomes[jid];
       CacheKey key{};
       if (cache != nullptr) {
         key = global_job_key(0, runtime::kBaseRound, jid, members, budget);
-        if (const auto hit = cache_probe(key)) return inject_outcome(*hit, members, out);
+        if (const auto hit = cache_probe(jid, key)) return inject_outcome(*hit, members, out);
       }
       const std::size_t nk0 = out.kills.size();
       const std::uint64_t sc0 = out.sat_calls;
@@ -692,13 +899,13 @@ struct Engine {
       }
       }();
       if (solve_us != 0) trace::add(trace::Counter::InductionSolveMicrosGlobal, solve_us);
-      cache_store(key, status, out.sat_calls - sc0,
+      cache_store(jid, key, status, out.sat_calls - sc0,
                   {out.kills.begin() + static_cast<std::ptrdiff_t>(nk0), out.kills.end()},
                   members, att_certified, att_cert_hash);
       return status;
     };
 
-    const auto reports = sup.run(batches.size(), job);
+    const auto reports = sup.run(batches.size(), job, proc ? &codec : nullptr);
     // Note: batch members surviving in `pending` after a completed job are
     // exactly the ones never falsified — nothing to do for them here. The
     // model kills recorded in the outcomes remove the rest.
@@ -743,16 +950,19 @@ struct Engine {
     auto batches = shard_alive(alive, opt.batch_size);
     std::vector<std::vector<std::uint32_t>> pending = batches;
     std::vector<JobOutcome> outcomes(batches.size());
+    if (proc) fx.assign(batches.size(), {});
     if (cache != nullptr) refresh_alive_hash();
 
     runtime::Supervisor sup(supervisor_options());
+    const runtime::ProcResultCodec codec = make_codec(pending, outcomes);
     const auto job = [&](std::size_t jid, int /*attempt*/, const runtime::JobBudget& budget) {
+      attempt_begin(jid);  // proc mode: reset fx slot, snapshot telemetry
       auto& members = pending[jid];
       JobOutcome& out = outcomes[jid];
       CacheKey key{};
       if (cache != nullptr) {
         key = global_job_key(1, round, jid, members, budget);
-        if (const auto hit = cache_probe(key)) return inject_outcome(*hit, members, out);
+        if (const auto hit = cache_probe(jid, key)) return inject_outcome(*hit, members, out);
       }
       const std::size_t nk0 = out.kills.size();
       const std::uint64_t sc0 = out.sat_calls;
@@ -877,13 +1087,13 @@ struct Engine {
       }
       }();
       if (solve_us != 0) trace::add(trace::Counter::InductionSolveMicrosGlobal, solve_us);
-      cache_store(key, status, out.sat_calls - sc0,
+      cache_store(jid, key, status, out.sat_calls - sc0,
                   {out.kills.begin() + static_cast<std::ptrdiff_t>(nk0), out.kills.end()},
                   members, att_certified, att_cert_hash);
       return status;
     };
 
-    const auto reports = sup.run(batches.size(), job);
+    const auto reports = sup.run(batches.size(), job, proc ? &codec : nullptr);
     const std::size_t removed = merge_round(batches, pending, outcomes, reports, sup.stats());
     round_telemetry(round, alive_before, sc0, ck0, bk0, removed);
     span.arg("killed", static_cast<std::int64_t>(removed));
@@ -932,6 +1142,7 @@ struct Engine {
     }
     std::vector<std::vector<std::uint32_t>> pending = batches;
     std::vector<JobOutcome> outcomes(batches.size());
+    if (proc) fx.assign(batches.size(), {});
 
     std::vector<CacheKey> fps(part.cones.size());
     if (cache != nullptr) {
@@ -975,7 +1186,9 @@ struct Engine {
     };
 
     runtime::Supervisor sup(supervisor_options());
+    const runtime::ProcResultCodec codec = make_codec(pending, outcomes);
     const auto job = [&](std::size_t jid, int /*attempt*/, const runtime::JobBudget& budget) {
+      attempt_begin(jid);  // proc mode: reset fx slot, snapshot telemetry
       auto& members = pending[jid];
       JobOutcome& out = outcomes[jid];
       const std::size_t ci = batch_cone[jid];
@@ -1000,7 +1213,7 @@ struct Engine {
         h.u64(static_cast<std::uint64_t>(budget.conflicts));
         h.u64(budget.memory_bytes);
         key = h.digest();
-        if (const auto hit = cache_probe(key)) {
+        if (const auto hit = cache_probe(jid, key)) {
           // (cache_probe already rejected uncertified hits under --certify.)
           bool in_range = true;
           for (const std::uint32_t p : hit->kills) in_range = in_range && p < cone.candidates.size();
@@ -1149,13 +1362,13 @@ struct Engine {
         }
         std::vector<std::uint32_t> pend_pos;
         for (const std::uint32_t m : members) pend_pos.push_back(cone_pos(m));
-        cache_store(key, status, out.sat_calls - sc0j, kill_pos, pend_pos,
+        cache_store(jid, key, status, out.sat_calls - sc0j, kill_pos, pend_pos,
                     att_certified, att_cert_hash);
       }
       return status;
     };
 
-    const auto reports = sup.run(batches.size(), job);
+    const auto reports = sup.run(batches.size(), job, proc ? &codec : nullptr);
     const std::size_t removed = merge_round(batches, pending, outcomes, reports, sup.stats());
     round_telemetry(round, alive_before, sc0, ck0, bk0, removed);
     span.arg("killed", static_cast<std::int64_t>(removed));
@@ -1199,6 +1412,11 @@ std::vector<GateProperty> prove_invariants(const Netlist& nl, const Environment&
   Engine eng(nl, env, candidates, opt, st, dl);
   eng.coi = coi_active;
   eng.certify = opt.certify;
+  // Must mirror the supervisor's own fallback test exactly: if the engine
+  // diverted side effects to the codec while the supervisor silently ran
+  // threads, cache stores and probe accounting would be lost.
+  eng.proc = opt.isolation == runtime::Isolation::Process &&
+             runtime::process_isolation_supported();
   eng.cache = pcache.get();
   // Attempts raced against a wall clock are not pure functions of their key
   // (an interrupt can strike anywhere); never memoize them.

@@ -41,6 +41,7 @@
 #include "formal/environment.h"
 #include "formal/property.h"
 #include "netlist/netlist.h"
+#include "runtime/supervisor.h"
 
 namespace pdat {
 
@@ -109,6 +110,21 @@ struct InductionOptions {
   /// budgets are deterministic).
   double job_wall_seconds = 0;
   std::size_t job_memory_bytes = 0;
+  /// Worker isolation. Thread (default) runs job attempts on an in-process
+  /// pool; Process forks one child per attempt (src/runtime/procworker.h),
+  /// so a segfaulting or OOM-killed solver is contained and retried instead
+  /// of taking the run down. Verdicts and reports are byte-identical across
+  /// modes: both run the same round-synchronous schedule and merge results
+  /// by candidate index. On platforms without fork() the Process setting
+  /// falls back to Thread with a warning.
+  runtime::Isolation isolation = runtime::Isolation::Thread;
+  /// Hard per-child rlimits under Process isolation (0 = unlimited). These
+  /// are OS-enforced backstops behind the cooperative job_memory_bytes /
+  /// job_wall_seconds budgets: a child that blows them is killed by the
+  /// kernel, counted out-of-band, and the attempt retried or dropped per
+  /// the usual escalation ladder.
+  std::size_t job_rlimit_bytes = 0;   // RLIMIT_AS (address space)
+  long job_rlimit_cpu_seconds = 0;    // RLIMIT_CPU (SIGXCPU on expiry)
 
   // --- checkpoint/resume ----------------------------------------------------
   /// When non-empty, append a checkpoint record here after the base case and
@@ -159,6 +175,10 @@ struct InductionStats {
   std::size_t job_retries = 0;   // re-dispatches with escalated budgets
   std::size_t job_drops = 0;     // jobs whose candidates were dropped
   std::size_t job_crashes = 0;   // attempts contained after throwing
+  /// Process-isolation accounting (timing-class: child deaths can be
+  /// environmental, so these never feed the deterministic report columns).
+  std::size_t proc_restarts = 0; // attempts re-queued after a child died
+  std::size_t proc_kills = 0;    // wedged children SIGKILLed at the deadline
   /// Resume provenance: -2 = fresh run, kBaseRound(-1) = resumed after the
   /// base case, r >= 0 = resumed after step round r.
   int resumed_from_round = -2;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "runtime/journal.h"
+#include "util/failpoint.h"
 
 namespace pdat {
 namespace {
@@ -158,52 +159,115 @@ void ProofCache::flush_locked() {
   if (!rewrite_on_flush_ && unsaved_.empty()) return;
 
   std::error_code ec;
+  if (!rewrite_on_flush_ &&
+      (valid_bytes_ == 0 || !std::filesystem::exists(path_, ec))) {
+    // Fresh (or deleted-from-under-us) file: header first, then write
+    // everything we know rather than appending into the void.
+    rewrite_on_flush_ = true;
+  }
+  // One armed proofcache.flush trigger fails this whole flush attempt with
+  // the torn write a full disk produces; the entries stay unsaved so a
+  // later flush can retry.
+  const bool inject_enospc = util::failpoint("proofcache.flush") != 0;
+
   if (rewrite_on_flush_) {
-    // Alien or pre-existing-corrupt file: replace wholesale with every
-    // in-memory entry.
-    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
-    if (!out) return;
+    // Full rebuild (fresh file, or alien/corrupt header at open): write the
+    // replacement next to the target and rename it into place, so a crash —
+    // or an injected fault — mid-rewrite can never leave a half-written
+    // cache where a valid (or absent) one used to be.
+    const std::string tmp = path_ + ".tmp";
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      ++stats_.flush_failures;
+      std::fprintf(stderr, "pdat: proof cache %s: cannot create '%s'; entries stay in memory\n",
+                   path_.c_str(), tmp.c_str());
+      return;
+    }
     out.write(kMagic, 8);
     std::string hdr;
     wr_u32(hdr, kVersion);
     out.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
-    valid_bytes_ = kFileHeaderBytes;
+    std::uint64_t bytes = kFileHeaderBytes;
+    bool torn = false;
     for (const auto& [k, payload] : map_) {
       const std::string rec = encode_record(k, payload);
+      if (inject_enospc) {
+        out.write(rec.data(), static_cast<std::streamsize>(rec.size() / 2));
+        torn = true;
+        break;
+      }
       out.write(rec.data(), static_cast<std::streamsize>(rec.size()));
-      valid_bytes_ += rec.size();
+      bytes += rec.size();
     }
     out.flush();
-    rewrite_on_flush_ = !out.good();
-    unsaved_.clear();
+    const bool failed = torn || !out.good();
     out.close();
-    runtime::durable_sync_file(path_);
+    if (failed) {
+      std::filesystem::remove(tmp, ec);
+      ++stats_.flush_failures;
+      std::fprintf(stderr,
+                   "pdat: proof cache %s: rewrite failed (disk full or I/O error); "
+                   "keeping the previous file, entries stay in memory\n",
+                   path_.c_str());
+      return;  // rewrite_on_flush_ stays set; a later flush retries
+    }
+    runtime::durable_sync_file(tmp);
+    std::filesystem::rename(tmp, path_, ec);
+    if (ec) {
+      std::filesystem::remove(tmp, ec);
+      ++stats_.flush_failures;
+      std::fprintf(stderr, "pdat: proof cache %s: rename of rewritten file failed\n",
+                   path_.c_str());
+      return;
+    }
     runtime::durable_sync_parent(path_);
+    valid_bytes_ = bytes;
+    rewrite_on_flush_ = false;
+    unsaved_.clear();
     return;
   }
 
-  if (valid_bytes_ == 0 || !std::filesystem::exists(path_, ec)) {
-    // Fresh (or deleted-from-under-us) file: header first, then rewrite
-    // everything we know rather than appending into the void.
-    rewrite_on_flush_ = true;
-    flush_locked();
-    return;
-  }
   // Drop any torn tail so appended records land on a valid boundary.
   const auto size = std::filesystem::file_size(path_, ec);
   if (!ec && size > valid_bytes_) std::filesystem::resize_file(path_, valid_bytes_, ec);
 
   std::ofstream out(path_, std::ios::binary | std::ios::app);
-  if (!out) return;
+  if (!out) {
+    ++stats_.flush_failures;
+    std::fprintf(stderr, "pdat: proof cache %s: cannot open for append; entries stay in memory\n",
+                 path_.c_str());
+    return;
+  }
+  bool failed = false;
   for (const CacheKey& k : unsaved_) {
     const auto it = map_.find(k);
     const std::string rec = encode_record(k, it->second);
+    if (inject_enospc) {
+      // Torn write: half a record past the valid prefix, exactly what a
+      // full disk leaves. Loading drops it; unsaved_ keeps the entries.
+      out.write(rec.data(), static_cast<std::streamsize>(rec.size() / 2));
+      failed = true;
+      break;
+    }
     out.write(rec.data(), static_cast<std::streamsize>(rec.size()));
-    if (!out.good()) return;  // keep unsaved_ so a later flush can retry
+    if (!out.good()) {
+      failed = true;  // keep unsaved_ so a later flush can retry
+      break;
+    }
     valid_bytes_ += rec.size();
   }
   out.flush();
-  if (out.good()) unsaved_.clear();
+  failed = failed || !out.good();
+  if (!failed) {
+    unsaved_.clear();
+  } else {
+    ++stats_.flush_failures;
+    std::fprintf(stderr,
+                 "pdat: proof cache %s: append failed (disk full or I/O error); "
+                 "%llu entr%s stay in memory for retry\n",
+                 path_.c_str(), static_cast<unsigned long long>(unsaved_.size()),
+                 unsaved_.size() == 1 ? "y" : "ies");
+  }
   out.close();
   runtime::durable_sync_file(path_);
 }

@@ -97,6 +97,10 @@ struct ProofCacheStats {
   std::uint64_t loaded = 0;       // records accepted from disk at open
   std::uint64_t rejected_tail_bytes = 0;  // torn/corrupt bytes past the prefix
   bool rejected_file = false;     // bad magic/version: loaded as empty
+  /// flush() attempts that could not persist (disk full, I/O error,
+  /// injected fault). Never fatal: the entries stay in memory and unsaved,
+  /// so a later flush — or a rerun that re-proves them — retries.
+  std::uint64_t flush_failures = 0;
 };
 
 /// Thread-safe persistent key → payload store. All members are safe to call

@@ -12,6 +12,7 @@
 #include "formal/bmc.h"
 #include "formal/coi.h"
 #include "netlist/check.h"
+#include "runtime/procworker.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -241,6 +242,17 @@ PdatResult run_pdat(const Netlist& design,
   if (opt.certify) iopt.certify = true;
   if (iopt.interrupt == nullptr) iopt.interrupt = opt.interrupt;
   if (opt.coi_localize) iopt.coi_localize = true;
+  if (opt.isolation == runtime::Isolation::Process) {
+    iopt.isolation = runtime::Isolation::Process;
+    if (!runtime::process_isolation_supported()) {
+      log_warn() << "PDAT: process isolation is not supported on this platform; "
+                    "proof jobs run in threads";
+    }
+  }
+  if (iopt.job_rlimit_bytes == 0 && opt.job_rlimit_mb > 0) {
+    iopt.job_rlimit_bytes = opt.job_rlimit_mb * (std::size_t{1} << 20);
+  }
+  if (iopt.job_rlimit_cpu_seconds == 0) iopt.job_rlimit_cpu_seconds = opt.job_rlimit_cpu_seconds;
   if (iopt.proof_cache_path.empty()) iopt.proof_cache_path = opt.proof_cache_path;
   if (!iopt.proof_cache_path.empty() && iopt.env_fingerprint == 0) {
     // Bind cache entries to this exact environment restriction: the analysis
@@ -285,11 +297,17 @@ PdatResult run_pdat(const Netlist& design,
       // this is always a hard stop, like a configuration error.
       throw StageError(PdatStage::Induction, e.what(), clk.elapsed());
     } catch (const PdatError& e) {
-      // A missing/corrupt/mismatched resume journal is a configuration
-      // error, like a malformed restriction: always thrown, never degraded,
-      // so a bad --resume cannot silently rerun from scratch.
-      if (!iopt.resume_from.empty() && std::string(e.what()).rfind("resume:", 0) == 0) {
-        throw StageError(PdatStage::Induction, e.what(), clk.elapsed());
+      // Two error families are always thrown, never degraded:
+      //  - "resume:": a missing/corrupt/mismatched resume journal is a
+      //    configuration error, like a malformed restriction — a bad
+      //    --resume must not silently rerun from scratch;
+      //  - "journal:": a checkpoint append that failed to persist (disk
+      //    full, I/O error) means a later --resume would replay stale
+      //    state, so the run must stop while its on-disk prefix is valid.
+      const std::string what = e.what();
+      if (what.rfind("journal:", 0) == 0 ||
+          (!iopt.resume_from.empty() && what.rfind("resume:", 0) == 0)) {
+        throw StageError(PdatStage::Induction, what, clk.elapsed());
       }
       proven.clear();
       degrade(PdatStage::Induction, e.what());

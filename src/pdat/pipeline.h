@@ -58,6 +58,20 @@ struct PdatOptions {
   /// under. Results are bit-identical with the cache on, off, cold or warm.
   bool coi_localize = false;
   std::string proof_cache_path;
+  /// Proof-job crash containment (src/runtime/procworker.h). `Process` runs
+  /// every proof-job attempt in a forked child so a solver segfault, abort,
+  /// or runaway allocation is contained by the OS instead of taking down the
+  /// run; the supervisor's retry-with-escalation → conservative-drop ladder
+  /// applies unchanged, and results (and reports) are byte-identical with
+  /// thread mode for crash-free runs at any worker count. Falls back to
+  /// threads (with a warning) on platforms without fork. The rlimit fields
+  /// cap each child with setrlimit: `job_rlimit_mb` bounds RLIMIT_AS in MiB
+  /// and `job_rlimit_cpu_seconds` bounds RLIMIT_CPU (SIGXCPU on expiry);
+  /// 0 = unlimited. All three forward into the matching `induction` fields
+  /// unless those are already set explicitly.
+  runtime::Isolation isolation = runtime::Isolation::Thread;
+  std::size_t job_rlimit_mb = 0;
+  long job_rlimit_cpu_seconds = 0;
   /// Observability (src/trace/, docs/telemetry.md). When `trace_path` is
   /// set, the run records hierarchical spans and writes a Chrome-trace/
   /// Perfetto JSON there; when `metrics_path` is set, it writes a versioned

@@ -1,6 +1,7 @@
 #include "runtime/checkpoint.h"
 
 #include "base/types.h"
+#include "util/failpoint.h"
 
 namespace pdat::runtime {
 
@@ -85,6 +86,9 @@ std::string encode_proof_round(const ProofRoundRecord& r) {
 
 std::optional<ProofResumeState> load_proof_resume(const std::string& path,
                                                   const ProofJournalHeader& expected) {
+  if (util::failpoint("checkpoint.replay") != 0) {
+    throw PdatError("resume: journal '" + path + "' replay failed (injected)");
+  }
   const auto records = read_journal(path);
   if (!records.has_value()) {
     throw PdatError("resume: journal '" + path + "' is missing or has a corrupt file header");

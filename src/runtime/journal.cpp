@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "base/types.h"
+#include "util/failpoint.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -136,11 +137,19 @@ JournalWriter JournalWriter::create(const std::string& path) {
   w.path_ = path;
   w.out_.open(path, std::ios::binary | std::ios::trunc);
   if (!w.out_) throw PdatError("journal: cannot create '" + path + "'");
+  if (util::failpoint("journal.create") != 0) {
+    // Injected ENOSPC: leave the partial artifact a full disk would (magic
+    // only, no version), which readers reject as headerless.
+    w.out_.write(kMagic, sizeof(kMagic));
+    w.out_.flush();
+    throw PdatError("journal: cannot create '" + path + "' (injected ENOSPC)");
+  }
   w.out_.write(kMagic, sizeof(kMagic));
   std::string v;
   put_u32(v, kVersion);
   w.out_.write(v.data(), static_cast<std::streamsize>(v.size()));
   w.out_.flush();
+  if (!w.out_.good()) throw PdatError("journal: cannot create '" + path + "'");
   durable_sync_file(path);
   durable_sync_parent(path);
   return w;
@@ -155,6 +164,9 @@ JournalWriter JournalWriter::append_after_valid_prefix(const std::string& path) 
   std::error_code ec;
   std::filesystem::resize_file(path, valid, ec);
   if (ec) throw PdatError("journal: cannot truncate torn tail of '" + path + "'");
+  // The truncation changed the file's committed length; make it durable
+  // before new records land past it.
+  durable_sync_file(path);
   JournalWriter w;
   w.path_ = path;
   w.out_.open(path, std::ios::binary | std::ios::app);
@@ -163,13 +175,24 @@ JournalWriter JournalWriter::append_after_valid_prefix(const std::string& path) 
 }
 
 void JournalWriter::append(std::uint32_t type, const std::string& payload) {
-  std::string header;
-  put_u32(header, static_cast<std::uint32_t>(payload.size()));
-  put_u32(header, type);
-  put_u64(header, journal_checksum(type, payload));
-  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
-  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  std::string rec;
+  put_u32(rec, static_cast<std::uint32_t>(payload.size()));
+  put_u32(rec, type);
+  put_u64(rec, journal_checksum(type, payload));
+  rec += payload;
+  if (util::failpoint("journal.append") != 0) {
+    // Injected ENOSPC: ship the torn half-record a full disk leaves behind
+    // (readers drop it as an invalid tail), then fail like the real error
+    // path below.
+    out_.write(rec.data(), static_cast<std::streamsize>(rec.size() / 2));
+    out_.flush();
+    throw PdatError("journal: append to '" + path_ + "' failed (injected ENOSPC)");
+  }
+  out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
   out_.flush();
+  if (!out_.good()) {
+    throw PdatError("journal: append to '" + path_ + "' failed (disk full or I/O error)");
+  }
   durable_sync_file(path_);
 }
 

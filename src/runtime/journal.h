@@ -76,6 +76,11 @@ class JournalWriter {
   /// header (resuming such a journal is a configuration error).
   static JournalWriter append_after_valid_prefix(const std::string& path);
 
+  /// Appends one record and flushes it. Throws PdatError (message prefixed
+  /// "journal:") when the write or flush fails — a checkpoint that silently
+  /// fails to persist would turn a later resume into a replay of stale
+  /// state, so callers must treat the failure as fatal for the run (the
+  /// journal's on-disk prefix stays valid; only the torn record is lost).
   void append(std::uint32_t type, const std::string& payload);
   bool ok() const { return out_.good(); }
   const std::string& path() const { return path_; }

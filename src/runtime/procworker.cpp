@@ -1,0 +1,571 @@
+#include "runtime/procworker.h"
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <exception>
+
+#include "base/log.h"
+#include "base/types.h"
+#include "runtime/journal.h"
+#include "trace/trace.h"
+#include "util/failpoint.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PDAT_HAVE_PROCWORKER 1
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace pdat::runtime {
+
+namespace {
+
+// record := payload_len(u32) type(u32) checksum(u64) payload
+constexpr std::size_t kRecordHeaderBytes = 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+// Pipe record types. The request carries (job, attempt, budget, consumed
+// child_entry failpoint spec); results carry either the codec payload
+// (Done/Retry) or an error message (Crash/Fatal).
+constexpr std::uint32_t kReqJob = 1;
+constexpr std::uint32_t kResDone = 2;
+constexpr std::uint32_t kResRetry = 3;
+constexpr std::uint32_t kResCrash = 4;
+constexpr std::uint32_t kResFatal = 5;
+
+}  // namespace
+
+std::string encode_proc_record(std::uint32_t type, const std::string& payload) {
+  std::string rec;
+  rec.reserve(kRecordHeaderBytes + payload.size());
+  put_u32(rec, static_cast<std::uint32_t>(payload.size()));
+  put_u32(rec, type);
+  put_u64(rec, journal_checksum(type, payload));
+  rec += payload;
+  return rec;
+}
+
+bool decode_proc_record(const std::string& buf, std::size_t& pos, std::uint32_t& type,
+                        std::string& payload) {
+  if (buf.size() < pos + kRecordHeaderBytes) return false;
+  std::size_t p = pos;
+  const std::uint32_t len = get_u32(buf, p);
+  const std::uint32_t t = get_u32(buf, p);
+  const std::uint64_t sum = get_u64(buf, p);
+  if (len > kMaxPayload) throw PdatError("procworker: oversized pipe record");
+  if (buf.size() - p < len) return false;
+  std::string pl = buf.substr(p, len);
+  if (journal_checksum(t, pl) != sum) {
+    throw PdatError("procworker: pipe record checksum mismatch");
+  }
+  type = t;
+  payload = std::move(pl);
+  pos = p + len;
+  return true;
+}
+
+#ifdef PDAT_HAVE_PROCWORKER
+
+namespace {
+
+constexpr int kChildExitWriteFailed = 81;  // result pipe write failed in the child
+
+struct QueuedAttempt {
+  std::size_t job;
+  int attempt;  // 1-based
+  JobBudget budget;
+};
+
+struct ChildProc {
+  pid_t pid = -1;
+  int res_fd = -1;
+  std::string buf;  // result pipe bytes drained so far
+  std::size_t job = 0;
+  int attempt = 0;
+  JobBudget budget;
+  std::chrono::steady_clock::time_point spawned;
+  std::chrono::steady_clock::time_point kill_at{};
+  bool has_kill_at = false;
+  bool killed_by_watchdog = false;
+};
+
+// The parent writes job requests to children that may already be dead
+// (e.g. an injected segfault at entry); that must surface as EPIPE, not a
+// process-killing SIGPIPE.
+void ignore_sigpipe_once() {
+  static const bool done = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Writes one record; an armed procworker.pipe_write failpoint (enospc)
+/// simulates a torn write by shipping only half the record.
+bool write_record(int fd, std::uint32_t type, const std::string& payload) {
+  const std::string rec = encode_proc_record(type, payload);
+  if (util::failpoint("procworker.pipe_write") != 0) {
+    write_all(fd, rec.data(), rec.size() / 2);
+    return false;
+  }
+  return write_all(fd, rec.data(), rec.size());
+}
+
+int reap(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  return status;
+}
+
+std::string signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV (segmentation fault)";
+    case SIGBUS: return "SIGBUS (bus error)";
+    case SIGABRT: return "SIGABRT (abort)";
+    case SIGILL: return "SIGILL (illegal instruction)";
+    case SIGKILL: return "SIGKILL (killed; rlimit or out-of-memory)";
+    case SIGXCPU: return "SIGXCPU (CPU rlimit exceeded)";
+    default: return "signal " + std::to_string(sig);
+  }
+}
+
+std::string describe_wait_status(int status, bool killed_by_watchdog) {
+  if (killed_by_watchdog) {
+    return "child SIGKILLed by the supervisor at the attempt deadline";
+  }
+  if (WIFSIGNALED(status)) return "child killed by " + signal_name(WTERMSIG(status));
+  if (WIFEXITED(status) && WEXITSTATUS(status) == kChildExitWriteFailed) {
+    return "child could not write its result record";
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+    return "child exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  return "child exited without a result record";
+}
+
+void apply_rlimits(const ProcLimits& lim) {
+  // Best-effort: a refused limit means looser containment, never a wrong
+  // result, so failures are not reported from the child.
+  const auto cap = [](int res, rlim_t v) {
+    struct rlimit rl;
+    rl.rlim_cur = v;
+    rl.rlim_max = v;
+    ::setrlimit(res, &rl);
+  };
+  if (lim.address_space_bytes > 0) cap(RLIMIT_AS, static_cast<rlim_t>(lim.address_space_bytes));
+  if (lim.stack_bytes > 0) cap(RLIMIT_STACK, static_cast<rlim_t>(lim.stack_bytes));
+  if (lim.cpu_seconds > 0) cap(RLIMIT_CPU, static_cast<rlim_t>(lim.cpu_seconds));
+}
+
+std::string encode_request(const QueuedAttempt& a, const std::string& entry_spec) {
+  std::string p;
+  put_u64(p, static_cast<std::uint64_t>(a.job));
+  put_u32(p, static_cast<std::uint32_t>(a.attempt));
+  put_u64(p, static_cast<std::uint64_t>(a.budget.conflicts));
+  std::uint64_t wall_bits = 0;
+  static_assert(sizeof(wall_bits) == sizeof(a.budget.wall_seconds));
+  std::memcpy(&wall_bits, &a.budget.wall_seconds, sizeof(wall_bits));
+  put_u64(p, wall_bits);
+  put_u64(p, static_cast<std::uint64_t>(a.budget.memory_bytes));
+  put_u32(p, static_cast<std::uint32_t>(entry_spec.size()));
+  p += entry_spec;
+  return p;
+}
+
+[[noreturn]] void child_main(int req_fd, int res_fd, const JobFn& fn,
+                             const ProcResultCodec* codec, const ProcLimits& lim) {
+  // The child must die on the signals containment decodes, even if the
+  // parent installed cooperative handlers for them.
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGTERM, SIG_DFL);
+  apply_rlimits(lim);
+  try {
+    // Drain the request pipe to EOF (the parent closes its end right after
+    // writing), then decode the single checksummed request record.
+    std::string buf;
+    char chunk[512];
+    for (;;) {
+      const ssize_t r = ::read(req_fd, chunk, sizeof(chunk));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw PdatError("procworker: request read failed");
+      }
+      if (r == 0) break;
+      buf.append(chunk, static_cast<std::size_t>(r));
+    }
+    if (util::failpoint("procworker.pipe_read") != 0) {
+      throw PdatError("procworker: request read failed (injected)");
+    }
+    std::size_t pos = 0;
+    std::uint32_t type = 0;
+    std::string payload;
+    if (!decode_proc_record(buf, pos, type, payload) || type != kReqJob) {
+      throw PdatError("procworker: malformed job request");
+    }
+    std::size_t p = 0;
+    const auto job = static_cast<std::size_t>(get_u64(payload, p));
+    const auto attempt = static_cast<int>(get_u32(payload, p));
+    JobBudget budget;
+    budget.conflicts = static_cast<std::int64_t>(get_u64(payload, p));
+    std::uint64_t wall_bits = get_u64(payload, p);
+    std::memcpy(&budget.wall_seconds, &wall_bits, sizeof(budget.wall_seconds));
+    budget.memory_bytes = static_cast<std::size_t>(get_u64(payload, p));
+    const std::uint32_t spec_len = get_u32(payload, p);
+    if (payload.size() - p < spec_len) throw PdatError("procworker: malformed job request");
+    if (spec_len > 0) {
+      util::failpoint_fire("procworker.child_entry", payload.substr(p, spec_len));
+    }
+
+    const JobStatus status = fn(job, attempt, budget);
+    std::string out;
+    if (codec != nullptr && codec->encode) out = codec->encode(job);
+    if (!write_record(res_fd, status == JobStatus::Done ? kResDone : kResRetry, out)) {
+      ::_exit(kChildExitWriteFailed);
+    }
+    ::_exit(0);
+  } catch (const CertificationError& e) {
+    // Not contained (see supervisor.h): surface in-band so the parent can
+    // cancel the batch and rethrow.
+    write_record(res_fd, kResFatal, e.what());
+    ::_exit(0);
+  } catch (const std::exception& e) {
+    if (!write_record(res_fd, kResCrash, e.what())) ::_exit(kChildExitWriteFailed);
+    ::_exit(0);
+  } catch (...) {
+    if (!write_record(res_fd, kResCrash, "non-standard exception")) {
+      ::_exit(kChildExitWriteFailed);
+    }
+    ::_exit(0);
+  }
+}
+
+}  // namespace
+
+bool process_isolation_supported() { return true; }
+
+std::vector<JobReport> run_process_pool(const SupervisorOptions& opt, std::size_t n,
+                                        const JobFn& fn, const ProcResultCodec* codec,
+                                        SupervisorStats& stats, std::atomic<bool>& cancelled) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<JobReport> reports(n);
+  if (n == 0) return reports;
+  ignore_sigpipe_once();
+
+  std::deque<QueuedAttempt> queue;
+  for (std::size_t j = 0; j < n; ++j) queue.push_back({j, 1, opt.initial});
+  std::vector<ChildProc> inflight;
+  const std::size_t max_children = opt.threads < 1 ? 1 : static_cast<std::size_t>(opt.threads);
+  std::exception_ptr fatal;
+
+  const auto past_deadline = [&] {
+    if (cancelled.load(std::memory_order_relaxed)) return true;
+    if (opt.interrupt != nullptr && opt.interrupt->load(std::memory_order_relaxed)) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (!opt.has_deadline) return false;
+    if (Clock::now() >= opt.deadline) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
+  // In-band settle: identical ladder and accounting to thread mode.
+  const auto settle = [&](const ChildProc& c, JobStatus status, bool crashed,
+                          const std::string& error) {
+    JobReport& r = reports[c.job];
+    r.attempts = c.attempt;
+    if (crashed) {
+      r.crashed = true;
+      r.last_error = error;
+      ++stats.crashes;
+      trace::add(trace::Counter::RuntimeJobCrashes, 1);
+    }
+    if (status == JobStatus::Done && !crashed) {
+      r.completed = true;
+    } else if (c.attempt < opt.max_attempts) {
+      ++stats.retries;
+      trace::add(trace::Counter::RuntimeJobRetries, 1);
+      queue.push_back({c.job, c.attempt + 1, c.budget.escalated(opt.escalation)});
+    } else {
+      r.dropped = true;
+      ++stats.drops;
+      trace::add(trace::Counter::RuntimeJobDrops, 1);
+    }
+  };
+
+  // Out-of-band settle: the child died without a result record. Same
+  // escalation ladder, separate accounting (deaths can be environmental —
+  // they must never perturb the deterministic report columns).
+  const auto settle_death = [&](const ChildProc& c, const std::string& error) {
+    JobReport& r = reports[c.job];
+    r.attempts = c.attempt;
+    ++r.child_deaths;
+    r.last_error = error;
+    trace::add(trace::Counter::RuntimeProcDeaths, 1);
+    if (c.attempt < opt.max_attempts) {
+      ++stats.proc_restarts;
+      trace::add(trace::Counter::RuntimeProcRestarts, 1);
+      queue.push_back({c.job, c.attempt + 1, c.budget.escalated(opt.escalation)});
+      log_warn() << "procworker: job " << c.job << " attempt " << c.attempt << ": " << error
+                 << "; retrying with an escalated budget";
+    } else {
+      r.dropped = true;
+      ++stats.drops;
+      trace::add(trace::Counter::RuntimeJobDrops, 1);
+      log_warn() << "procworker: job " << c.job << " attempt " << c.attempt << ": " << error
+                 << "; dropping the job (conservative)";
+    }
+  };
+
+  const auto abort_attempt = [&](std::size_t job, int attempt) {
+    JobReport& r = reports[job];
+    r.attempts = attempt - 1;
+    r.aborted = true;
+    ++stats.aborted;
+    trace::add(trace::Counter::RuntimeJobAborts, 1);
+  };
+
+  const auto spawn = [&](const QueuedAttempt& a) {
+    // Consume a child_entry injection in the *parent* so a `:count` bound
+    // is global across children (a child's decrement would be lost to
+    // copy-on-write). Spawn order is deterministic: single-threaded loop,
+    // queue order.
+    std::string entry_spec;
+    if (const auto spec = util::failpoint_consume("procworker.child_entry")) {
+      entry_spec = *spec;
+    }
+    int req[2] = {-1, -1};
+    int res[2] = {-1, -1};
+    if (::pipe(req) != 0) throw PdatError("procworker: pipe() failed");
+    if (::pipe(res) != 0) {
+      ::close(req[0]);
+      ::close(req[1]);
+      throw PdatError("procworker: pipe() failed");
+    }
+    trace::add(trace::Counter::RuntimeJobAttempts, 1);
+    trace::observe(trace::Histogram::RuntimeQueueDepth, queue.size());
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(req[0]);
+      ::close(req[1]);
+      ::close(res[0]);
+      ::close(res[1]);
+      throw PdatError("procworker: fork() failed");
+    }
+    if (pid == 0) {
+      ::close(req[1]);
+      ::close(res[0]);
+      child_main(req[0], res[1], fn, codec, opt.proc_limits);  // never returns
+    }
+    ::close(req[0]);
+    ::close(res[1]);
+    trace::add(trace::Counter::RuntimeProcForks, 1);
+    // Ship the job. A failed write (dead child, injected fault) is fine:
+    // the child then reads a torn request, reports an in-band crash or
+    // dies, and the ladder handles it.
+    try {
+      write_record(req[1], kReqJob, encode_request(a, entry_spec));
+    } catch (const std::exception&) {
+    }
+    ::close(req[1]);
+
+    ChildProc c;
+    c.pid = pid;
+    c.res_fd = res[0];
+    c.job = a.job;
+    c.attempt = a.attempt;
+    c.budget = a.budget;
+    c.spawned = Clock::now();
+    if (a.budget.wall_seconds > 0) {
+      const double grace = opt.proc_limits.kill_grace_seconds > 0
+                               ? opt.proc_limits.kill_grace_seconds
+                               : 0.0;
+      c.has_kill_at = true;
+      c.kill_at = c.spawned + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(a.budget.wall_seconds + grace));
+    }
+    inflight.push_back(std::move(c));
+  };
+
+  // EOF on the result pipe: reap the child and settle its attempt.
+  const auto finalize = [&](ChildProc& c) {
+    ::close(c.res_fd);
+    const int status = reap(c.pid);
+    if (trace::collecting()) {
+      trace::add(trace::Counter::RuntimeWorkerBusyMicros,
+                 static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                           c.spawned)
+                         .count()));
+    }
+    std::uint32_t rtype = 0;
+    std::string rpayload;
+    bool got = false;
+    std::string decode_error;
+    try {
+      if (util::failpoint("procworker.pipe_read") != 0) {
+        throw PdatError("procworker: result read failed (injected)");
+      }
+      std::size_t pos = 0;
+      got = decode_proc_record(c.buf, pos, rtype, rpayload);
+    } catch (const std::exception& e) {
+      got = false;
+      decode_error = e.what();
+    }
+    if (got && rtype == kResFatal) {
+      if (!fatal) fatal = std::make_exception_ptr(CertificationError(rpayload));
+      cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (got && (rtype == kResDone || rtype == kResRetry)) {
+      trace::add(trace::Counter::RuntimeProcResults, 1);
+      // A codec that cannot apply the payload degrades to the death path
+      // (retry with nothing merged), never a torn half-applied merge — the
+      // codec is expected to decode fully before committing any state.
+      bool applied = true;
+      if (codec != nullptr && codec->apply) {
+        try {
+          codec->apply(c.job, rpayload);
+        } catch (const std::exception& e) {
+          applied = false;
+          decode_error = std::string("result apply failed: ") + e.what();
+        }
+      }
+      if (applied) {
+        settle(c, rtype == kResDone ? JobStatus::Done : JobStatus::Retry, false, "");
+        return;
+      }
+    }
+    if (got && rtype == kResCrash) {
+      settle(c, JobStatus::Retry, true, rpayload);
+      return;
+    }
+    std::string error = describe_wait_status(status, c.killed_by_watchdog);
+    if (!decode_error.empty()) error += " [" + decode_error + "]";
+    settle_death(c, error);
+  };
+
+  const auto kill_all_inflight = [&](bool mark_aborted) {
+    for (ChildProc& c : inflight) {
+      ::kill(c.pid, SIGKILL);
+      ::close(c.res_fd);
+      reap(c.pid);
+      if (mark_aborted) abort_attempt(c.job, c.attempt);
+    }
+    inflight.clear();
+  };
+
+  while (!queue.empty() || !inflight.empty()) {
+    if (fatal != nullptr) {
+      kill_all_inflight(/*mark_aborted=*/false);
+      std::rethrow_exception(fatal);
+    }
+    if (past_deadline()) {
+      kill_all_inflight(/*mark_aborted=*/true);
+      while (!queue.empty()) {
+        abort_attempt(queue.front().job, queue.front().attempt);
+        queue.pop_front();
+      }
+      break;
+    }
+    while (!queue.empty() && inflight.size() < max_children) {
+      const QueuedAttempt a = queue.front();
+      queue.pop_front();
+      spawn(a);
+    }
+
+    // Wait for result bytes, a watchdog expiry, the global deadline, or an
+    // interrupt (bounded poll so the flag is noticed promptly).
+    std::vector<struct pollfd> fds;
+    fds.reserve(inflight.size());
+    for (const ChildProc& c : inflight) fds.push_back({c.res_fd, POLLIN, 0});
+    int timeout_ms = 100;
+    const auto now = Clock::now();
+    const auto clamp = [&](Clock::time_point when) {
+      const auto ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(when - now).count();
+      const int bounded = ms <= 0 ? 0 : (ms > 100 ? 100 : static_cast<int>(ms));
+      if (bounded < timeout_ms) timeout_ms = bounded;
+    };
+    for (const ChildProc& c : inflight) {
+      if (c.has_kill_at && !c.killed_by_watchdog) clamp(c.kill_at);
+    }
+    if (opt.has_deadline) clamp(opt.deadline);
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (rc < 0 && errno != EINTR) throw PdatError("procworker: poll() failed");
+
+    std::vector<std::size_t> finished;
+    if (rc > 0) {
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        char chunk[65536];
+        const ssize_t r = ::read(inflight[i].res_fd, chunk, sizeof(chunk));
+        if (r > 0) {
+          inflight[i].buf.append(chunk, static_cast<std::size_t>(r));
+        } else if (r == 0 || (r < 0 && errno != EINTR)) {
+          finished.push_back(i);
+        }
+      }
+    }
+
+    const auto now2 = Clock::now();
+    for (ChildProc& c : inflight) {
+      if (c.has_kill_at && !c.killed_by_watchdog && now2 >= c.kill_at) {
+        ::kill(c.pid, SIGKILL);
+        c.killed_by_watchdog = true;
+        ++stats.proc_kills;
+        trace::add(trace::Counter::RuntimeProcDeadlineKills, 1);
+      }
+    }
+
+    // Settle finished children (reverse index order keeps erase() valid;
+    // results merge by job index, so settle order is irrelevant).
+    for (auto it = finished.rbegin(); it != finished.rend(); ++it) {
+      ChildProc c = std::move(inflight[*it]);
+      inflight.erase(inflight.begin() + static_cast<std::ptrdiff_t>(*it));
+      finalize(c);
+    }
+  }
+  if (fatal != nullptr) {
+    kill_all_inflight(/*mark_aborted=*/false);
+    std::rethrow_exception(fatal);
+  }
+  return reports;
+}
+
+#else  // !PDAT_HAVE_PROCWORKER
+
+bool process_isolation_supported() { return false; }
+
+std::vector<JobReport> run_process_pool(const SupervisorOptions&, std::size_t n, const JobFn&,
+                                        const ProcResultCodec*, SupervisorStats&,
+                                        std::atomic<bool>&) {
+  (void)n;
+  throw PdatError("procworker: process isolation is not supported on this platform");
+}
+
+#endif  // PDAT_HAVE_PROCWORKER
+
+}  // namespace pdat::runtime

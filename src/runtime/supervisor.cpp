@@ -7,7 +7,9 @@
 #include <mutex>
 #include <thread>
 
+#include "base/log.h"
 #include "base/types.h"
+#include "runtime/procworker.h"
 #include "trace/trace.h"
 
 namespace pdat::runtime {
@@ -22,13 +24,29 @@ struct QueuedAttempt {
 
 }  // namespace
 
-std::vector<JobReport> Supervisor::run(std::size_t n, const JobFn& fn) {
+std::vector<JobReport> Supervisor::run(std::size_t n, const JobFn& fn,
+                                       const ProcResultCodec* codec) {
   std::vector<JobReport> reports(n);
   cancelled_.store(false, std::memory_order_relaxed);
   if (n == 0) return reports;
   trace::Span run_span("runtime.run", {"jobs", static_cast<std::int64_t>(n)},
                        {"threads", opt_.threads});
   trace::add(trace::Counter::RuntimeJobsDispatched, n);
+
+  if (opt_.isolation == Isolation::Process) {
+    if (process_isolation_supported()) {
+      reports = run_process_pool(opt_, n, fn, codec, stats_, cancelled_);
+      if (trace::collecting()) {
+        for (const JobReport& r : reports) {
+          trace::observe(trace::Histogram::RuntimeAttemptsPerJob,
+                         static_cast<std::uint64_t>(r.attempts));
+        }
+      }
+      return reports;
+    }
+    log_warn() << "runtime: process isolation is not supported on this platform; "
+                  "falling back to thread isolation";
+  }
 
   std::mutex mu;
   std::condition_variable cv;

@@ -20,6 +20,10 @@
 // schedules. As long as each job is a pure function of (job index, attempt,
 // budget) and the caller merges per-job results by index (never by
 // completion order), the outcome is bit-identical for any worker count.
+//
+// SupervisorOptions.isolation selects how attempts are contained: Thread
+// (this file) or Process — fork-per-attempt children with hard rlimits and
+// a checksummed pipe protocol, implemented in runtime/procworker.{h,cpp}.
 #pragma once
 
 #include <atomic>
@@ -56,6 +60,43 @@ enum class JobStatus {
 /// message recorded (and counts as a crash).
 using JobFn = std::function<JobStatus(std::size_t job, int attempt, const JobBudget& budget)>;
 
+/// How job attempts are isolated from the supervisor (DESIGN.md §5.11).
+/// Thread containment stops at C++ exceptions; Process forks one child per
+/// attempt so a segfault, stack overflow, rlimit kill, or kernel OOM kill
+/// in a job degrades that job instead of the run. Results are bit-identical
+/// across both modes: the child ships its outcome back over a checksummed
+/// pipe and the caller still merges by job index.
+enum class Isolation {
+  Thread,   // in-process worker threads; catch(...) containment only
+  Process,  // fork-per-attempt children with hard rlimits (POSIX only)
+};
+
+/// Hard per-child resource caps for Isolation::Process, applied with
+/// setrlimit() in the child before the job runs. 0 = inherit the parent's
+/// limit. These are *containment* caps (the kernel enforces them with
+/// allocation failure / SIGXCPU / SIGSEGV), distinct from the cooperative
+/// JobBudget the solver polls.
+struct ProcLimits {
+  std::size_t address_space_bytes = 0;  // RLIMIT_AS
+  std::size_t stack_bytes = 0;          // RLIMIT_STACK
+  long cpu_seconds = 0;                 // RLIMIT_CPU (soft → SIGXCPU)
+  /// A wedged child that ignores its wall budget is SIGKILLed this long
+  /// after the attempt deadline (budget.wall_seconds) passes.
+  double kill_grace_seconds = 2.0;
+};
+
+/// Serialization bridge for Isolation::Process: the child runs the job
+/// against copy-on-write memory, so any state the caller's merge step needs
+/// must be shipped back explicitly. `encode` runs in the child after the
+/// job function returns; `apply` runs in the parent when the result record
+/// arrives, before the attempt is settled. Both see the same job index the
+/// job function saw. Callers whose jobs are side-effect-free may omit the
+/// codec entirely.
+struct ProcResultCodec {
+  std::function<std::string(std::size_t job)> encode;
+  std::function<void(std::size_t job, const std::string& payload)> apply;
+};
+
 struct SupervisorOptions {
   int threads = 1;          // <= 1 runs jobs inline on the calling thread
   int max_attempts = 3;     // attempts per job before it is dropped
@@ -70,6 +111,11 @@ struct SupervisorOptions {
   /// becomes true, pending jobs are aborted exactly as if the deadline had
   /// passed; the caller distinguishes the two by inspecting the flag.
   const std::atomic<bool>* interrupt = nullptr;
+  /// Worker isolation. Process mode falls back to Thread (with a warning)
+  /// on platforms without fork/waitpid.
+  Isolation isolation = Isolation::Thread;
+  /// Hard rlimit caps for process-isolated children; ignored in Thread mode.
+  ProcLimits proc_limits;
 };
 
 struct JobReport {
@@ -77,7 +123,12 @@ struct JobReport {
   bool completed = false;
   bool dropped = false;
   bool aborted = false;
-  bool crashed = false;  // at least one attempt threw
+  bool crashed = false;  // at least one attempt threw (in-band, deterministic)
+  /// Process mode only: attempts that ended with the child dying without a
+  /// result record (signal, rlimit kill, deadline SIGKILL, bad exit). Kept
+  /// separate from `crashed` because child deaths can be environmental and
+  /// must not leak into byte-compared reports.
+  int child_deaths = 0;
   std::string last_error;
 };
 
@@ -86,6 +137,11 @@ struct SupervisorStats {
   std::size_t drops = 0;
   std::size_t crashes = 0;
   std::size_t aborted = 0;
+  /// Process mode: attempts re-queued after an out-of-band child death.
+  /// Deliberately not folded into `retries` — see JobReport::child_deaths.
+  std::size_t proc_restarts = 0;
+  /// Process mode: wedged children SIGKILLed at the attempt deadline.
+  std::size_t proc_kills = 0;
 };
 
 class Supervisor {
@@ -93,8 +149,11 @@ class Supervisor {
   explicit Supervisor(SupervisorOptions opt) : opt_(opt) {}
 
   /// Runs jobs 0..n-1 to completion (or drop/abort). Blocks until done.
-  /// Reports are indexed by job, independent of execution order.
-  std::vector<JobReport> run(std::size_t n, const JobFn& fn);
+  /// Reports are indexed by job, independent of execution order. `codec` is
+  /// only consulted in process isolation (see ProcResultCodec); thread mode
+  /// ignores it because job side effects are already visible in-process.
+  std::vector<JobReport> run(std::size_t n, const JobFn& fn,
+                             const ProcResultCodec* codec = nullptr);
 
   const SupervisorStats& stats() const { return stats_; }
 

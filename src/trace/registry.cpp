@@ -80,6 +80,20 @@ constexpr MetricDef kCounterDefs[] = {
      "jobs cancelled by the global wall-clock deadline (timing-dependent)"},
     {MetricKind::Counter, "runtime.worker_busy_micros", "micros", false,
      "summed wall-clock time workers spent executing job attempts"},
+    // The runtime.proc.* family tracks process-isolated workers. Child
+    // deaths can be environmental (OOM kill, rlimit, injected faults), so
+    // the whole family is timing-class: the deterministic subtree must be
+    // identical across isolation modes and chaos schedules.
+    {MetricKind::Counter, "runtime.proc.forks", "children", false,
+     "child processes forked, one per job attempt under --isolation=process"},
+    {MetricKind::Counter, "runtime.proc.results", "records", false,
+     "children that returned a complete, checksum-valid result record"},
+    {MetricKind::Counter, "runtime.proc.child_deaths", "1", false,
+     "attempts whose child died without a result record (signal/rlimit/exit)"},
+    {MetricKind::Counter, "runtime.proc.deadline_kills", "children", false,
+     "wedged children SIGKILLed by the parent at the attempt deadline"},
+    {MetricKind::Counter, "runtime.proc.restarts", "attempts", false,
+     "attempts re-queued after an out-of-band child death"},
     // The cert.* family is populated only under --certify, so it is kept out
     // of the deterministic subtree: the subtree must be certificate-invariant
     // (identical with certification on or off).

@@ -123,6 +123,23 @@ void observe(Histogram h, std::uint64_t value) {
   }
 }
 
+void merge(Histogram h, const HistogramSnapshot& delta) {
+  Tracer& t = tracer();
+  if (!t.collecting.load(std::memory_order_relaxed)) return;
+  Tracer::Hist& hist = t.hists[static_cast<std::size_t>(h)];
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (delta.buckets[i] != 0) {
+      hist.buckets[i].fetch_add(delta.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  if (delta.count != 0) hist.count.fetch_add(delta.count, std::memory_order_relaxed);
+  if (delta.sum != 0) hist.sum.fetch_add(delta.sum, std::memory_order_relaxed);
+  std::uint64_t prev = hist.max.load(std::memory_order_relaxed);
+  while (delta.max > prev &&
+         !hist.max.compare_exchange_weak(prev, delta.max, std::memory_order_relaxed)) {
+  }
+}
+
 std::uint64_t counter_value(Counter c) {
   return tracer().counters[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
 }

@@ -91,6 +91,12 @@ enum class Counter : unsigned {
   RuntimeJobCrashes,
   RuntimeJobAborts,
   RuntimeWorkerBusyMicros,
+  // Process-isolated workers (--isolation=process).
+  RuntimeProcForks,
+  RuntimeProcResults,
+  RuntimeProcDeaths,
+  RuntimeProcDeadlineKills,
+  RuntimeProcRestarts,
   // Certified solving (--certify).
   CertCertificatesEmitted,
   CertCertificatesChecked,
@@ -145,6 +151,14 @@ void end_run();
 
 void add(Counter c, std::uint64_t n);
 void observe(Histogram h, std::uint64_t value);
+
+/// Folds a histogram *delta* recorded elsewhere into this process's
+/// histogram — process-isolated proof workers (runtime/procworker.h) ship
+/// their child-side telemetry back in the result payload because a forked
+/// child's counter updates die with its copy-on-write memory. Buckets,
+/// count, and sum accumulate; max folds via max(). No-op while collection
+/// is off.
+void merge(Histogram h, const HistogramSnapshot& delta);
 
 std::uint64_t counter_value(Counter c);
 HistogramSnapshot histogram_snapshot(Histogram h);

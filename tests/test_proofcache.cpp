@@ -12,6 +12,7 @@
 
 #include "base/rng.h"
 #include "formal/proofcache.h"
+#include "util/failpoint.h"
 
 namespace pdat {
 namespace {
@@ -253,6 +254,86 @@ TEST(ProofCache, UpdateWithIdenticalPayloadIsANoOp) {
   pc.flush();
   EXPECT_EQ(std::filesystem::file_size(path), bytes_before)
       << "a no-op update must not grow the file";
+  std::filesystem::remove(path);
+}
+
+// --- durability under injected faults -----------------------------------------
+
+TEST(ProofCacheChaos, AppendEnospcKeepsEntriesInMemoryForRetry) {
+  const std::string path = build_cache("enospc_append.pdatpc", 2);
+  {
+    ProofCache pc(path);
+    EXPECT_TRUE(pc.insert(key_of(2), payload_of(2)));
+    {
+      util::ScopedFailpoint fp("proofcache.flush", "enospc:1");
+      pc.flush();  // a failed flush is never fatal
+    }
+    EXPECT_EQ(pc.stats().flush_failures, 1u);
+
+    // The disk now ends in half a record — exactly what a full disk leaves.
+    // A reload of those bytes must recover the longest valid prefix.
+    const std::string torn = slurp(path);
+    const std::string copy = tmp_path("enospc_append_copy.pdatpc");
+    spit(copy, torn);
+    {
+      ProofCache snapshot(copy);
+      EXPECT_EQ(snapshot.stats().loaded, 2u) << "only the pre-fault records may load";
+      EXPECT_GT(snapshot.stats().rejected_tail_bytes, 0u);
+      EXPECT_FALSE(snapshot.lookup(key_of(2)).has_value());
+    }
+    std::filesystem::remove(copy);
+
+    // The entry stayed unsaved: the retry truncates the torn tail and lands it.
+    pc.flush();
+    EXPECT_EQ(pc.stats().flush_failures, 1u);
+  }
+  ProofCache reopened(path);
+  EXPECT_EQ(reopened.stats().loaded, 3u);
+  EXPECT_EQ(reopened.stats().rejected_tail_bytes, 0u);
+  EXPECT_EQ(*reopened.lookup(key_of(2)), payload_of(2));
+  std::filesystem::remove(path);
+}
+
+TEST(ProofCacheChaos, FailedRewriteNeverReplacesTheExistingFile) {
+  // A rejected-header file is rewritten via tmp+rename; a fault mid-rewrite
+  // must leave the original bytes untouched and no stray tmp behind.
+  const std::string path = tmp_path("enospc_rewrite.pdatpc");
+  spit(path, "this is not a proof cache at all, but it is long enough");
+  const std::string before = slurp(path);
+  ProofCache pc(path);
+  EXPECT_TRUE(pc.stats().rejected_file);
+  EXPECT_TRUE(pc.insert(key_of(0), payload_of(0)));
+  {
+    util::ScopedFailpoint fp("proofcache.flush", "enospc:1");
+    pc.flush();
+  }
+  EXPECT_EQ(pc.stats().flush_failures, 1u);
+  EXPECT_EQ(slurp(path), before) << "a failed rewrite must not touch the original";
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp")) << "the torn tmp must be removed";
+
+  pc.flush();  // disarmed: the rewrite goes through atomically
+  ProofCache reopened(path);
+  EXPECT_FALSE(reopened.stats().rejected_file);
+  EXPECT_EQ(*reopened.lookup(key_of(0)), payload_of(0));
+  std::filesystem::remove(path);
+}
+
+TEST(ProofCacheChaos, FreshFileEnospcLeavesNothingBehind) {
+  const std::string path = tmp_path("enospc_fresh.pdatpc");
+  std::filesystem::remove(path);
+  ProofCache pc(path);
+  EXPECT_TRUE(pc.insert(key_of(0), payload_of(0)));
+  {
+    util::ScopedFailpoint fp("proofcache.flush", "enospc:1");
+    pc.flush();
+  }
+  EXPECT_EQ(pc.stats().flush_failures, 1u);
+  EXPECT_FALSE(std::filesystem::exists(path))
+      << "a fresh-file rewrite that fails must not create a half-written cache";
+  pc.flush();
+  ASSERT_TRUE(std::filesystem::exists(path));
+  ProofCache reopened(path);
+  EXPECT_EQ(*reopened.lookup(key_of(0)), payload_of(0));
   std::filesystem::remove(path);
 }
 

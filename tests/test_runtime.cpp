@@ -22,6 +22,7 @@
 #include "runtime/supervisor.h"
 #include "synth/builder.h"
 #include "test_util.h"
+#include "util/failpoint.h"
 
 namespace pdat {
 namespace {
@@ -134,6 +135,50 @@ TEST(Journal, WireHelpersThrowPastEnd) {
   EXPECT_THROW(rt::get_u64(buf, pos), PdatError);
 }
 
+// --- journal durability under injected faults ---------------------------------
+
+TEST(JournalChaos, CreateEnospcThrowsAndLeavesNoUsableFile) {
+  const std::string path = tmp_path("enospc_create.jrn");
+  {
+    util::ScopedFailpoint fp("journal.create", "enospc:1");
+    EXPECT_THROW(rt::JournalWriter::create(path), PdatError);
+  }
+  // The partial artifact (magic only, no version) must read as headerless.
+  EXPECT_FALSE(rt::read_journal(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(JournalChaos, AppendEnospcThrowsJournalErrorAndKeepsTheValidPrefix) {
+  const std::string path = tmp_path("enospc_append.jrn");
+  {
+    auto w = rt::JournalWriter::create(path);
+    w.append(1, "first");
+    util::ScopedFailpoint fp("journal.append", "enospc:1");
+    try {
+      w.append(2, "second-record-payload");
+      FAIL() << "append must throw on injected ENOSPC";
+    } catch (const PdatError& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("journal:", 0), 0u)
+          << "the pipeline keys fatal handling off the 'journal:' prefix";
+    }
+  }
+  // Longest-valid-prefix recovery: the torn record is dropped, nothing else.
+  const auto recs = rt::read_journal(path);
+  ASSERT_TRUE(recs.has_value());
+  ASSERT_EQ(recs->size(), 1u);
+  EXPECT_EQ((*recs)[0].payload, "first");
+  // A later run truncates the torn tail and appends cleanly.
+  {
+    auto w = rt::JournalWriter::append_after_valid_prefix(path);
+    w.append(3, "third");
+  }
+  const auto recs2 = rt::read_journal(path);
+  ASSERT_TRUE(recs2.has_value());
+  ASSERT_EQ(recs2->size(), 2u);
+  EXPECT_EQ((*recs2)[1].payload, "third");
+  std::remove(path.c_str());
+}
+
 // --- checkpoint records -------------------------------------------------------
 
 rt::ProofRoundRecord sample_round(std::int32_t round, std::size_t n) {
@@ -216,6 +261,20 @@ TEST(Checkpoint, HeaderOnlyJournalResumesFromScratch) {
     auto w = rt::JournalWriter::create(path);
     w.append(rt::kProofRecHeader, rt::encode_proof_header(hdr));
   }
+  EXPECT_FALSE(rt::load_proof_resume(path, hdr).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ReplayFailpointFailsTheResumeLoudly) {
+  const std::string path = tmp_path("replay_fp.jrn");
+  const rt::ProofJournalHeader hdr{1, 2};
+  {
+    auto w = rt::JournalWriter::create(path);
+    w.append(rt::kProofRecHeader, rt::encode_proof_header(hdr));
+  }
+  util::ScopedFailpoint fp("checkpoint.replay", "enospc:1");
+  EXPECT_THROW(rt::load_proof_resume(path, hdr), PdatError);
+  // The trigger is consumed: the retry succeeds against the same file.
   EXPECT_FALSE(rt::load_proof_resume(path, hdr).has_value());
   std::remove(path.c_str());
 }
@@ -529,6 +588,37 @@ TEST(PdatPipeline, BadResumeJournalIsAConfigErrorEvenWhenNotStrict) {
                         },
                         opt),
                StageError);
+}
+
+TEST(PdatPipeline, JournalWriteFailureIsFatalEvenWhenNotStrict) {
+  // A checkpoint append that fails to persist would turn a later --resume
+  // into a replay of stale state, so the pipeline must stop — degrading to
+  // "no journal" would silently break the crash-tolerance contract.
+  Netlist nl;
+  synth::Builder b(nl);
+  auto en = b.input("en", 1);
+  auto r = b.reg_decl(4, 0);
+  b.connect(r, b.mux(en[0], r.q, b.add_const(r.q, 1)));
+  b.output("q", r.q);
+  const NetId not_en = b.not_(en[0]);
+  const NetId en_net = en[0];
+
+  const std::string path = tmp_path("enospc_pipeline.jrn");
+  PdatOptions opt;
+  opt.strict = false;
+  opt.checkpoint_journal = path;
+  util::ScopedFailpoint fp("journal.append", "enospc:1");
+  EXPECT_THROW(run_pdat(nl,
+                        [&](Netlist&) {
+                          RestrictionResult rr;
+                          rr.env.add_assume(not_en);
+                          rr.env.drivers.push_back(std::make_shared<ConstantDriver>(
+                              std::vector<NetId>{en_net}, false));
+                          return rr;
+                        },
+                        opt),
+               StageError);
+  std::remove(path.c_str());
 }
 
 TEST(PdatPipeline, JournalAndResumeForwardIntoInduction) {
