@@ -10,6 +10,8 @@
 #include "cores/cm0/cm0_core.h"
 #include "cores/ibex/ibex_core.h"
 #include "formal/cnf_encoder.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
 #include "formal/coi.h"
 #include "formal/induction.h"
 #include "opt/optimizer.h"
@@ -186,6 +188,31 @@ void BM_OptimizeIbex(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptimizeIbex)->Unit(benchmark::kMillisecond);
+
+void BM_FuzzGenerateEncode(benchmark::State& state) {
+  const pdat::fuzz::Rv32Generator gen(pdat::isa::rv32_subset_named("rv32imc"));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto p = gen.generate(seed++);
+    benchmark::DoNotOptimize(gen.encode_units(p));
+  }
+}
+BENCHMARK(BM_FuzzGenerateEncode);
+
+void BM_FuzzOracleProgram(benchmark::State& state) {
+  const pdat::Netlist& nl = ibex_netlist();
+  const pdat::fuzz::Rv32Generator gen(pdat::isa::rv32_subset_named("rv32imc"));
+  pdat::fuzz::Rv32DiffOracle oracle(gen, nl, nullptr);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto p = gen.generate(seed++);
+    const auto out = oracle.run(p, nullptr);
+    if (out.status == pdat::fuzz::RunOutcome::Status::Diverge)
+      state.SkipWithError("healthy core diverged from the ISS");
+    benchmark::DoNotOptimize(out.cycles);
+  }
+}
+BENCHMARK(BM_FuzzOracleProgram)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

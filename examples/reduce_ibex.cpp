@@ -48,6 +48,24 @@
 //                   (RLIMIT_CPU) at N seconds; expiry delivers SIGXCPU
 //   --list-failpoints   print the registered fault-injection sites (armed
 //                   via PDAT_FAILPOINTS; see README) and exit
+//   --fuzz=N        after reduction, run N random subset-constrained
+//                   programs in lockstep across the ISS and the bitsims of
+//                   the original and reduced cores (docs/fuzzing.md); any
+//                   divergence is shrunk to a minimal reproducer and the
+//                   reduced core is rejected. Deterministic: a fixed seed
+//                   yields byte-identical corpus/coverage/reproducers at
+//                   any --fuzz-threads
+//   --fuzz-seed=S   master fuzzing seed (default 1)
+//   --fuzz-threads=N  fuzzing worker threads (default 1)
+//   --fuzz-dir=PATH write the retained corpus, the coverage report, and
+//                   shrunk reproducers (.prog replay files + self-contained
+//                   gtest .cpp) under PATH
+//   --fuzz-replay=FILE  replay one .prog reproducer through the differential
+//                   oracles after reduction and report the outcome
+//   --fuzz-baseline with --fuzz=N: skip the reduction entirely and fuzz the
+//                   *original* core against the ISS alone (the nightly CI
+//                   baseline arm — catches core-model/ISS drift without
+//                   paying for a reduction)
 //
 // SIGINT/SIGTERM interrupt the run cooperatively: the proof journal keeps
 // every completed round, a resume command is printed, and the process exits
@@ -58,11 +76,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cores/ibex/ibex_core.h"
 #include "cores/ibex/ibex_tb.h"
+#include "fuzz/oracle.h"
 #include "isa/rv32_assembler.h"
 #include "isa/rv32_subsets.h"
 #include "netlist/verilog.h"
@@ -146,6 +166,14 @@ void write_report(std::ostream& os, const std::string& subset_name, const PdatRe
   os << "proof_job_drops " << res.induction.job_drops << "\n";
   os << "proof_job_crashes " << res.induction.job_crashes << "\n";
   for (const auto& p : res.proven_props) os << "prop " << p.describe() << "\n";
+  // Fuzzing summary, present only when fuzzing ran: deterministic for a
+  // fixed seed at any thread count, so the report stays byte-comparable.
+  if (res.fuzz.programs > 0) {
+    os << "fuzz_programs " << res.fuzz.programs << "\n";
+    os << "fuzz_divergences " << res.fuzz.divergences << "\n";
+    os << "fuzz_corpus " << res.fuzz.corpus_retained << "\n";
+    os << "fuzz_covered_pairs " << res.fuzz.covered_pairs << "\n";
+  }
 }
 
 }  // namespace
@@ -157,6 +185,11 @@ int main(int argc, char** argv) {
   bool coi = true;
   bool certify = false;
   int threads = 1;
+  std::size_t fuzz_iterations = 0;
+  std::uint64_t fuzz_seed = 1;
+  int fuzz_threads = 1;
+  std::string fuzz_dir, fuzz_replay;
+  bool fuzz_baseline = false;
   runtime::Isolation isolation = runtime::Isolation::Thread;
   std::size_t job_rlimit_mb = 0;
   long job_rlimit_cpu = 0;
@@ -197,6 +230,18 @@ int main(int argc, char** argv) {
       metrics_path = arg.substr(10);
     } else if (arg.rfind("--proof-cache=", 0) == 0) {
       proof_cache_path = arg.substr(14);
+    } else if (arg.rfind("--fuzz=", 0) == 0) {
+      fuzz_iterations = std::stoul(arg.substr(7));
+    } else if (arg.rfind("--fuzz-seed=", 0) == 0) {
+      fuzz_seed = std::stoull(arg.substr(12));
+    } else if (arg.rfind("--fuzz-threads=", 0) == 0) {
+      fuzz_threads = std::stoi(arg.substr(15));
+    } else if (arg.rfind("--fuzz-dir=", 0) == 0) {
+      fuzz_dir = arg.substr(11);
+    } else if (arg.rfind("--fuzz-replay=", 0) == 0) {
+      fuzz_replay = arg.substr(14);
+    } else if (arg == "--fuzz-baseline") {
+      fuzz_baseline = true;
     } else if (arg == "--no-coi") {
       coi = false;
     } else if (arg == "--certify") {
@@ -221,6 +266,26 @@ int main(int argc, char** argv) {
   std::cout << "baseline Ibex: " << core.netlist.gate_count() << " gates, "
             << core.netlist.area() << " um^2\n";
 
+  if (fuzz_baseline) {
+    // Baseline arm: differential-fuzz the unmodified core against the ISS
+    // golden model, no reduction at all.
+    fuzz::FuzzOptions fopt;
+    fopt.seed = fuzz_seed;
+    fopt.iterations = fuzz_iterations;
+    fopt.threads = fuzz_threads;
+    fopt.out_dir = fuzz_dir;
+    const fuzz::FuzzStats stats = fuzz::fuzz_rv32(subset, core.netlist, nullptr, fopt);
+    std::cout << "fuzz (baseline): " << stats.programs << " programs, " << stats.divergences
+              << " divergences, corpus " << stats.corpus_retained << ", coverage "
+              << stats.covered_pairs << "/" << 2 * stats.coverage_nets << " toggle pairs\n";
+    for (std::size_t i = 0; i < stats.findings.size(); ++i) {
+      std::cout << "fuzz finding " << i << " (" << stats.findings[i].shrunk.size()
+                << " ops, from " << stats.findings[i].original_ops
+                << "): " << stats.findings[i].detail << "\n";
+    }
+    return stats.divergences > 0 ? 1 : 0;
+  }
+
   PdatOptions opt;
   opt.induction.threads = threads;
   opt.isolation = isolation;
@@ -235,6 +300,14 @@ int main(int argc, char** argv) {
   opt.run_label = "reduce_ibex:" + subset_name;
   opt.certify = certify;
   opt.interrupt = &g_interrupt;
+  opt.fuzz_iterations = fuzz_iterations;
+  opt.fuzz_seed = fuzz_seed;
+  opt.fuzz_threads = fuzz_threads;
+  opt.fuzz_dir = fuzz_dir;
+  opt.fuzz_fn = [subset](const Netlist& design, const Netlist& reduced,
+                         const fuzz::FuzzOptions& fo) {
+    return fuzz::fuzz_rv32(subset, design, &reduced, fo);
+  };
   install_signal_handlers();
 
   const auto instr_q = core.instr_reg_q;
@@ -265,6 +338,39 @@ int main(int argc, char** argv) {
             << 100.0 * (1.0 - static_cast<double>(res.gates_after) /
                                   static_cast<double>(res.gates_before))
             << "% fewer gates)\n";
+
+  if (res.fuzz.programs > 0) {
+    std::cout << "fuzz: " << res.fuzz.programs << " programs, " << res.fuzz.divergences
+              << " divergences, corpus " << res.fuzz.corpus_retained << ", coverage "
+              << res.fuzz.covered_pairs << "/" << 2 * res.fuzz.coverage_nets
+              << " toggle pairs\n";
+    for (std::size_t i = 0; i < res.fuzz.findings.size(); ++i) {
+      std::cout << "fuzz finding " << i << " (" << res.fuzz.findings[i].shrunk.size()
+                << " ops, from " << res.fuzz.findings[i].original_ops
+                << "): " << res.fuzz.findings[i].detail << "\n";
+    }
+    if (res.fuzz.divergences > 0) return 1;
+  }
+
+  if (!fuzz_replay.empty()) {
+    std::ifstream in(fuzz_replay);
+    if (!in) {
+      std::cerr << "cannot read " << fuzz_replay << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const fuzz::AbsProgram prog = fuzz::parse_program(text.str(), "rv32");
+    const fuzz::Rv32Generator gen(subset);
+    fuzz::Rv32DiffOracle oracle(gen, core.netlist, &res.transformed);
+    const fuzz::RunOutcome outcome = oracle.run(prog, nullptr);
+    if (outcome.status == fuzz::RunOutcome::Status::Agree) {
+      std::cout << "fuzz replay: AGREE (" << prog.size() << " ops)\n";
+    } else {
+      std::cout << "fuzz replay: " << outcome.detail << "\n";
+      return 1;
+    }
+  }
 
   // Smoke-test in lockstep with the ISS, when the subset can express it.
   if (subset.contains("addi") && subset.contains("add") && subset.contains("bne") &&

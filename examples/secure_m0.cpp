@@ -18,12 +18,21 @@
 //     --report=PATH       timing-free result report (byte-comparable runs)
 //     --metrics=PATH      versioned pdat-metrics JSON (docs/telemetry.md)
 //     --proof-cache=PATH  content-addressed proof cache
+//     --fuzz=N            differential fuzzing: N random subset-constrained
+//                         programs in lockstep across ThumbIss and the
+//                         bitsims of both cores (docs/fuzzing.md)
+//     --fuzz-seed=S       master fuzzing seed (default 1)
+//     --fuzz-threads=N    fuzzing worker threads (deterministic for any N)
+//     --fuzz-dir=PATH     corpus + coverage + shrunk-reproducer artifacts
+//     --fuzz-baseline     with --fuzz=N: skip the reduction and fuzz the
+//                         unmodified (obfuscated) core against the ISS alone
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "cores/cm0/cm0_core.h"
 #include "cores/cm0/cm0_tb.h"
+#include "fuzz/oracle.h"
 #include "isa/thumb_assembler.h"
 #include "isa/thumb_subsets.h"
 #include "opt/obfuscate.h"
@@ -39,6 +48,11 @@ int main(int argc, char** argv) {
   std::size_t job_rlimit_mb = 0;
   long job_rlimit_cpu = 0;
   std::string report_path, metrics_path, proof_cache_path;
+  std::size_t fuzz_iterations = 0;
+  std::uint64_t fuzz_seed = 1;
+  int fuzz_threads = 1;
+  std::string fuzz_dir;
+  bool fuzz_baseline = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--certify") {
@@ -65,6 +79,16 @@ int main(int argc, char** argv) {
       metrics_path = arg.substr(10);
     } else if (arg.rfind("--proof-cache=", 0) == 0) {
       proof_cache_path = arg.substr(14);
+    } else if (arg.rfind("--fuzz=", 0) == 0) {
+      fuzz_iterations = std::stoul(arg.substr(7));
+    } else if (arg.rfind("--fuzz-seed=", 0) == 0) {
+      fuzz_seed = std::stoull(arg.substr(12));
+    } else if (arg.rfind("--fuzz-threads=", 0) == 0) {
+      fuzz_threads = std::stoi(arg.substr(15));
+    } else if (arg.rfind("--fuzz-dir=", 0) == 0) {
+      fuzz_dir = arg.substr(11);
+    } else if (arg == "--fuzz-baseline") {
+      fuzz_baseline = true;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
@@ -85,6 +109,26 @@ int main(int argc, char** argv) {
   std::cout << "target subset: " << subset.size() << " of "
             << isa::thumb_subset_all().size() << " ARMv6-M instructions (all 16-bit)\n";
 
+  if (fuzz_baseline) {
+    // Baseline arm: differential-fuzz the unmodified core against the ISS
+    // golden model, no reduction at all.
+    fuzz::FuzzOptions fopt;
+    fopt.seed = fuzz_seed;
+    fopt.iterations = fuzz_iterations;
+    fopt.threads = fuzz_threads;
+    fopt.out_dir = fuzz_dir;
+    const fuzz::FuzzStats stats = fuzz::fuzz_thumb(subset, core.netlist, nullptr, fopt);
+    std::cout << "fuzz (baseline): " << stats.programs << " programs, " << stats.divergences
+              << " divergences, corpus " << stats.corpus_retained << ", coverage "
+              << stats.covered_pairs << "/" << 2 * stats.coverage_nets << " toggle pairs\n";
+    for (std::size_t i = 0; i < stats.findings.size(); ++i) {
+      std::cout << "fuzz finding " << i << " (" << stats.findings[i].shrunk.size()
+                << " ops, from " << stats.findings[i].original_ops
+                << "): " << stats.findings[i].detail << "\n";
+    }
+    return stats.divergences > 0 ? 1 : 0;
+  }
+
   PdatOptions opt;
   opt.certify = certify;
   opt.induction.threads = threads;
@@ -94,6 +138,14 @@ int main(int argc, char** argv) {
   opt.metrics_path = metrics_path;
   opt.proof_cache_path = proof_cache_path;
   opt.run_label = "secure_m0";
+  opt.fuzz_iterations = fuzz_iterations;
+  opt.fuzz_seed = fuzz_seed;
+  opt.fuzz_threads = fuzz_threads;
+  opt.fuzz_dir = fuzz_dir;
+  opt.fuzz_fn = [subset](const Netlist& design, const Netlist& reduced,
+                         const fuzz::FuzzOptions& fo) {
+    return fuzz::fuzz_thumb(subset, design, &reduced, fo);
+  };
 
   const PdatResult res = run_pdat(core.netlist, [&](Netlist& a) {
     const Port* port = a.find_input("imem_rdata");
@@ -136,7 +188,21 @@ int main(int argc, char** argv) {
     rep << "proof_cex_kills " << res.induction.cex_kills << "\n";
     rep << "proof_budget_kills " << res.induction.budget_kills << "\n";
     for (const auto& p : res.proven_props) rep << "prop " << p.describe() << "\n";
+    if (res.fuzz.programs > 0) {
+      rep << "fuzz_programs " << res.fuzz.programs << "\n";
+      rep << "fuzz_divergences " << res.fuzz.divergences << "\n";
+      rep << "fuzz_corpus " << res.fuzz.corpus_retained << "\n";
+      rep << "fuzz_covered_pairs " << res.fuzz.covered_pairs << "\n";
+    }
     std::cout << "wrote report " << report_path << "\n";
+  }
+
+  if (res.fuzz.programs > 0) {
+    std::cout << "fuzz: " << res.fuzz.programs << " programs, " << res.fuzz.divergences
+              << " divergences, corpus " << res.fuzz.corpus_retained << ", coverage "
+              << res.fuzz.covered_pairs << "/" << 2 * res.fuzz.coverage_nets
+              << " toggle pairs\n";
+    if (res.fuzz.divergences > 0) return 1;
   }
 
   std::cout << "reduced core: " << res.gates_after << " gates ("

@@ -1,8 +1,10 @@
 #include "cores/cm0/cm0_tb.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/types.h"
+#include "util/failpoint.h"
 
 namespace pdat::cores {
 
@@ -47,6 +49,19 @@ void Cm0Testbench::reset() {
   mem_writes_.clear();
 }
 
+void Cm0Testbench::clear_memory() { std::fill(mem_.begin(), mem_.end(), 0); }
+
+bool Cm0Testbench::halted() const { return sim_.read_port(*out_halted_, 0) != 0; }
+
+std::uint32_t Cm0Testbench::fetch_half(std::uint32_t addr) const {
+  std::uint32_t hw = read_word(addr) & 0xffff;
+  // Chaos hook emulating a decoder fault: corrupt the Rm index of fetched
+  // data-processing-register halfwords. The fuzzer's mutation self-check
+  // arms this and must find + shrink the resulting ISS/core divergence.
+  if ((hw & 0xfc00) == 0x4000 && util::failpoint("cm0_tb.fetch_fault") != 0) hw ^= 1u << 3;
+  return hw;
+}
+
 std::uint32_t Cm0Testbench::read_word(std::uint32_t addr) const {
   std::uint32_t v = 0;
   for (int k = 0; k < 4; ++k)
@@ -59,7 +74,7 @@ bool Cm0Testbench::cycle() {
   sim_.eval();
   auto imem_addr = static_cast<std::uint32_t>(sim_.read_port(*out_imem_addr_, 0));
   const auto dmem_addr = static_cast<std::uint32_t>(sim_.read_port(*out_dmem_addr_, 0));
-  sim_.set_port_uniform(*in_imem_, read_word(imem_addr) & 0xffff);
+  sim_.set_port_uniform(*in_imem_, fetch_half(imem_addr));
   sim_.set_port_uniform(*in_dmem_, read_word(dmem_addr & ~3u));
   sim_.eval();
   // pop {.., pc} makes the next fetch address depend on the loaded data —
@@ -67,7 +82,7 @@ bool Cm0Testbench::cycle() {
   const auto imem_addr2 = static_cast<std::uint32_t>(sim_.read_port(*out_imem_addr_, 0));
   if (imem_addr2 != imem_addr) {
     imem_addr = imem_addr2;
-    sim_.set_port_uniform(*in_imem_, read_word(imem_addr) & 0xffff);
+    sim_.set_port_uniform(*in_imem_, fetch_half(imem_addr));
     sim_.eval();
   }
   const bool halted_now = sim_.read_port(*out_halted_, 0) != 0;

@@ -19,12 +19,18 @@ class Cm0Testbench {
 
   void load_halfwords(std::uint32_t addr, const std::vector<std::uint16_t>& halves);
   void reset();
+
+  /// Zeroes the unified memory so the (expensive to levelize) testbench can
+  /// be reused across programs — the fuzzer's oracle does this per run.
+  void clear_memory();
   bool cycle();  // false once halted
   std::uint64_t run(std::uint64_t max_cycles);
 
+  bool halted() const;
   const std::vector<iss::ThumbIss::RegWrite>& reg_writes() const { return reg_writes_; }
   const std::vector<iss::ThumbIss::MemWrite>& mem_writes() const { return mem_writes_; }
   unsigned final_flags() const;  // NZCV packed as bits 3..0
+  const BitSim& sim() const { return sim_; }  // gate toggle coverage source
 
  private:
   const Netlist& nl_;
@@ -38,6 +44,7 @@ class Cm0Testbench {
       *out_dmem_we_, *out_reg_we_, *out_reg_waddr_, *out_reg_wdata_, *out_halted_, *out_flags_;
 
   std::uint32_t read_word(std::uint32_t addr) const;
+  std::uint32_t fetch_half(std::uint32_t addr) const;  // imem serve + chaos hook
 };
 
 /// Runs the program on the netlist and on ThumbIss; compares the register

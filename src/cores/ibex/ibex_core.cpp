@@ -380,8 +380,14 @@ IbexCore build_ibex(const IbexConfig& cfg) {
   const Bus byte2 = synth::Builder::slice(eff_rdata, 16, 8);
   const Bus byte3 = synth::Builder::slice(eff_rdata, 24, 8);
   const Bus sel_byte = b.mux_tree(eff_off, {byte0, byte1, byte2, byte3});
-  const Bus sel_half = b.mux(eff_off[1], synth::Builder::slice(eff_rdata, 0, 16),
-                             synth::Builder::slice(eff_rdata, 16, 16));
+  // Halfword select is byte-granular: a halfword at byte offset 1 sits
+  // entirely inside the word (bits 8..23) without crossing. Offset 3 crosses
+  // and arrives here with eff_off forced to 0 by the merge path.
+  const Bus sel_half =
+      b.mux_tree(eff_off, {synth::Builder::slice(eff_rdata, 0, 16),
+                           synth::Builder::slice(eff_rdata, 8, 16),
+                           synth::Builder::slice(eff_rdata, 16, 16),
+                           synth::Builder::slice(eff_rdata, 16, 16)});
   const NetId load_unsigned = f3[2];
   const NetId byte_sign = b.and_(sel_byte[7], b.not_(load_unsigned));
   const NetId half_sign = b.and_(sel_half[15], b.not_(load_unsigned));
@@ -392,16 +398,23 @@ IbexCore build_ibex(const IbexConfig& cfg) {
   const Bus load_data =
       b.mux_tree(synth::Builder::slice(f3, 0, 2), {load_b, load_h, eff_rdata, eff_rdata});
 
-  // Store data alignment + byte enables (aligned / within-word cases).
-  const Bus sh_data = synth::Builder::concat(synth::Builder::slice(rs2_data, 0, 16),
-                                             synth::Builder::slice(rs2_data, 0, 16));
+  // Store data alignment + byte enables (aligned / within-word cases). A
+  // halfword at byte offset 1 stays within the word: its data shifts into
+  // lanes 1-2 with be=0110. Offset 3 crosses and is overridden below.
+  const Bus sh_dup = synth::Builder::concat(synth::Builder::slice(rs2_data, 0, 16),
+                                            synth::Builder::slice(rs2_data, 0, 16));
+  const Bus sh_mid = synth::Builder::concat(
+      b.constant(0, 8),
+      synth::Builder::concat(synth::Builder::slice(rs2_data, 0, 16), b.constant(0, 8)));
+  const Bus sh_data = b.mux(off_oh[1], sh_dup, sh_mid);
   Bus sb_data = synth::Builder::slice(rs2_data, 0, 8);
   sb_data = synth::Builder::concat(sb_data, sb_data);
   sb_data = synth::Builder::concat(sb_data, sb_data);
   Bus store_data = b.mux_tree(synth::Builder::slice(f3, 0, 2),
                               {sb_data, sh_data, rs2_data, rs2_data});
   const Bus be_b = {off_oh[0], off_oh[1], off_oh[2], off_oh[3]};
-  const Bus be_h = {b.not_(ls_addr[1]), b.not_(ls_addr[1]), ls_addr[1], ls_addr[1]};
+  Bus be_h = {b.not_(ls_addr[1]), b.not_(ls_addr[1]), ls_addr[1], ls_addr[1]};
+  be_h = b.mux(off_oh[1], be_h, Bus{c0, b.bit(true), b.bit(true), c0});
   const Bus be_w = b.constant(0xf, 4);
   Bus be = b.mux_tree(synth::Builder::slice(f3, 0, 2), {be_b, be_h, be_w, be_w});
 

@@ -1,8 +1,10 @@
 #include "cores/ibex/ibex_tb.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/types.h"
+#include "util/failpoint.h"
 
 namespace pdat::cores {
 
@@ -51,6 +53,8 @@ void IbexTestbench::reset() {
   pending_store_count_ = 0;
 }
 
+void IbexTestbench::clear_memory() { std::fill(mem_.begin(), mem_.end(), 0); }
+
 std::uint32_t IbexTestbench::read_mem_word(std::uint32_t byte_addr) const {
   std::uint32_t v = 0;
   for (int k = 0; k < 4; ++k) {
@@ -71,7 +75,12 @@ bool IbexTestbench::cycle() {
   // Instruction fetch serves the word starting at the (halfword-aligned)
   // PC; the data port serves the aligned word containing the address and
   // the core extracts the selected bytes itself.
-  sim_.set_port_uniform(*in_imem_, read_mem_word(imem_addr));
+  std::uint32_t iw = read_mem_word(imem_addr);
+  // Chaos hook emulating a decoder fault: corrupt the rs2 index of fetched
+  // R-type OP words. The fuzzer's mutation self-check arms this and must
+  // find + shrink the resulting ISS/core divergence.
+  if ((iw & 0x7f) == 0x33 && util::failpoint("ibex_tb.fetch_fault") != 0) iw ^= 1u << 20;
+  sim_.set_port_uniform(*in_imem_, iw);
   sim_.set_port_uniform(*in_dmem_, read_mem_word(dmem_addr & ~3u));
   // Phase 2: evaluate with memory data present, then observe side effects.
   sim_.eval();

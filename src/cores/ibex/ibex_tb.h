@@ -22,6 +22,10 @@ class IbexTestbench {
   void load_words(std::uint32_t addr, const std::vector<std::uint32_t>& words);
   void reset();
 
+  /// Zeroes the unified memory so the (expensive to levelize) testbench can
+  /// be reused across programs — the fuzzer's oracle does this per run.
+  void clear_memory();
+
   /// Runs one clock cycle. Returns true while the core has not halted.
   bool cycle();
 
@@ -32,6 +36,7 @@ class IbexTestbench {
   const std::vector<iss::Rv32Iss::TraceEntry>& trace() const { return trace_; }
   std::uint32_t mem_word(std::uint32_t addr) const;
   std::uint64_t retired() const { return retired_; }
+  const BitSim& sim() const { return sim_; }  // gate toggle coverage source
 
  private:
   const Netlist& nl_;

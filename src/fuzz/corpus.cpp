@@ -1,0 +1,91 @@
+#include <sstream>
+
+#include "base/types.h"
+#include "fuzz/fuzz.h"
+
+namespace pdat::fuzz {
+
+// --- CoverageMap -------------------------------------------------------------
+
+void CoverageMap::init(std::size_t nets) {
+  nets_ = nets;
+  seen0_.assign((nets + 63) / 64, 0);
+  seen1_.assign((nets + 63) / 64, 0);
+}
+
+void CoverageMap::record(const BitSim& sim) {
+  for (std::size_t n = 0; n < nets_; ++n) {
+    const std::uint64_t bit = 1ull << (n % 64);
+    if ((sim.value(static_cast<NetId>(n)) & 1) != 0) {
+      seen1_[n / 64] |= bit;
+    } else {
+      seen0_[n / 64] |= bit;
+    }
+  }
+}
+
+std::size_t CoverageMap::merge_count_new(const CoverageMap& o) {
+  std::size_t fresh = 0;
+  for (std::size_t w = 0; w < seen0_.size(); ++w) {
+    fresh += static_cast<std::size_t>(__builtin_popcountll(o.seen0_[w] & ~seen0_[w]));
+    fresh += static_cast<std::size_t>(__builtin_popcountll(o.seen1_[w] & ~seen1_[w]));
+    seen0_[w] |= o.seen0_[w];
+    seen1_[w] |= o.seen1_[w];
+  }
+  return fresh;
+}
+
+std::size_t CoverageMap::covered() const {
+  std::size_t total = 0;
+  for (const std::uint64_t w : seen0_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+  for (const std::uint64_t w : seen1_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+// --- program serialization ---------------------------------------------------
+
+std::string serialize_program(const AbsProgram& p, const std::string& isa_name) {
+  std::ostringstream os;
+  os << "# pdat fuzz program v1\n";
+  os << "isa " << isa_name << "\n";
+  for (const AbsOp& op : p) {
+    os << "op " << op.spec << " " << static_cast<unsigned>(op.cls) << " " << std::hex
+       << op.opseed << std::dec << " " << static_cast<unsigned>(op.skip) << "\n";
+  }
+  return os.str();
+}
+
+AbsProgram parse_program(const std::string& text, const std::string& expect_isa) {
+  AbsProgram p;
+  std::istringstream is(text);
+  std::string line;
+  bool saw_isa = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "isa") {
+      std::string name;
+      ls >> name;
+      if (name != expect_isa)
+        throw PdatError("fuzz replay: program is for ISA '" + name + "', expected '" +
+                        expect_isa + "'");
+      saw_isa = true;
+      continue;
+    }
+    if (tag != "op") throw PdatError("fuzz replay: unknown line '" + line + "'");
+    AbsOp op;
+    unsigned cls = 0, skip = 0;
+    ls >> op.spec >> cls >> std::hex >> op.opseed >> std::dec >> skip;
+    if (ls.fail() || cls > static_cast<unsigned>(OpClass::Illegal) || skip > 255)
+      throw PdatError("fuzz replay: malformed op line '" + line + "'");
+    op.cls = static_cast<OpClass>(cls);
+    op.skip = static_cast<std::uint8_t>(skip);
+    p.push_back(op);
+  }
+  if (!saw_isa) throw PdatError("fuzz replay: missing 'isa' header line");
+  return p;
+}
+
+}  // namespace pdat::fuzz

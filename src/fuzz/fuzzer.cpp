@@ -1,0 +1,187 @@
+// The deterministic batch-synchronous fuzzing loop (see fuzz.h for the
+// determinism contract). Parallelism is bounded-staleness: a round of
+// `batch` jobs is generated from (master seed, global job index) against the
+// round-start corpus snapshot, workers execute disjoint job slots, and
+// results merge in job-index order — so scheduling, corpus growth, and
+// shrinking are identical at any thread count.
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "fuzz/fuzz.h"
+#include "fuzz/shrink.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace pdat::fuzz {
+namespace {
+
+struct JobResult {
+  AbsProgram program;
+  RunOutcome outcome;
+  CoverageMap cov;
+};
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw PdatError("fuzz: cannot write " + path.string());
+  os << content;
+}
+
+std::string render_units(const Generator& gen, const AbsProgram& p) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0');
+  for (const std::uint32_t u : gen.encode_units(p))
+    os << std::setw(static_cast<int>(gen.unit_hex_digits())) << u << "\n";
+  return os.str();
+}
+
+void write_artifacts(const Target& target, const FuzzOptions& opt, const FuzzStats& stats,
+                     const std::vector<AbsProgram>& corpus) {
+  namespace fs = std::filesystem;
+  const fs::path root(opt.out_dir);
+  fs::create_directories(root / "corpus");
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    std::ostringstream name;
+    name << std::setw(4) << std::setfill('0') << i << ".hex";
+    write_file(root / "corpus" / name.str(), render_units(*target.gen, corpus[i]));
+  }
+
+  std::ostringstream cov;
+  cov << "# pdat fuzz coverage v1\n"
+      << "target " << target.name << "\n"
+      << "seed " << opt.seed << "\n"
+      << "programs " << stats.programs << "\n"
+      << "nets " << stats.coverage_nets << "\n"
+      << "covered_pairs " << stats.covered_pairs << " of " << 2 * stats.coverage_nets << "\n"
+      << "corpus " << stats.corpus_retained << "\n";
+  write_file(root / "coverage.txt", cov.str());
+
+  for (std::size_t i = 0; i < stats.findings.size(); ++i) {
+    const FuzzFinding& f = stats.findings[i];
+    std::ostringstream base;
+    base << "repro_" << std::setw(2) << std::setfill('0') << i;
+    std::ostringstream prog;
+    prog << "# shrunk from " << f.original_ops << " ops (job " << f.job_index << ")\n"
+         << "# " << f.detail << "\n"
+         << serialize_program(f.shrunk, target.gen->isa_name());
+    write_file(root / (base.str() + ".prog"), prog.str());
+    std::ostringstream case_name;
+    case_name << target.name << "_seed" << opt.seed << "_" << std::setw(2) << std::setfill('0')
+              << i;
+    write_file(root / (base.str() + ".cpp"),
+               target.gen->render_repro(f.shrunk, case_name.str(), f.detail));
+  }
+}
+
+}  // namespace
+
+FuzzStats run_fuzz(const Target& target, const FuzzOptions& opt) {
+  FuzzStats stats;
+  if (opt.iterations == 0) return stats;  // feature off: no oracles, no artifacts
+  if (target.gen == nullptr || !target.make_oracle) throw PdatError("fuzz: incomplete target");
+
+  const std::size_t threads = opt.threads < 1 ? 1 : static_cast<std::size_t>(opt.threads);
+  const std::size_t batch = std::max<std::size_t>(1, opt.batch);
+
+  std::vector<std::unique_ptr<Oracle>> oracles;
+  oracles.reserve(threads);
+  for (std::size_t t = 0; t < std::min(threads, batch); ++t) oracles.push_back(target.make_oracle());
+
+  CoverageMap global;
+  global.init(oracles[0]->coverage_nets());
+  std::vector<AbsProgram> corpus;
+
+  std::uint64_t next_job = 0;
+  while (next_job < opt.iterations) {
+    const std::size_t round = std::min<std::uint64_t>(batch, opt.iterations - next_job);
+    std::vector<JobResult> results(round);
+
+    // Each job is a pure function of its derived seed and the round-start
+    // corpus snapshot; `corpus` is not touched until the merge below.
+    auto run_slot = [&](std::size_t slot, Oracle& oracle) {
+      Rng rng(util::derive_seed(opt.seed, next_job + slot));
+      JobResult& r = results[slot];
+      if (!corpus.empty() && rng.chance(128)) {
+        r.program = target.gen->mutate(corpus[rng.below(corpus.size())], rng.next());
+      } else {
+        r.program = target.gen->generate(rng.next());
+      }
+      r.cov.init(oracle.coverage_nets());
+      r.outcome = oracle.run(r.program, &r.cov);
+    };
+
+    if (oracles.size() == 1) {
+      for (std::size_t slot = 0; slot < round; ++slot) run_slot(slot, *oracles[0]);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(oracles.size());
+      for (std::size_t t = 0; t < oracles.size(); ++t) {
+        pool.emplace_back([&, t] {
+          for (std::size_t slot = t; slot < round; slot += oracles.size())
+            run_slot(slot, *oracles[t]);
+        });
+      }
+      for (std::thread& th : pool) th.join();
+    }
+
+    // Merge in job-index order; shrinking runs sequentially on oracle 0.
+    for (std::size_t slot = 0; slot < round; ++slot) {
+      JobResult& r = results[slot];
+      ++stats.programs;
+      stats.instructions += r.program.size();
+      switch (r.outcome.status) {
+        case RunOutcome::Status::Inconclusive:
+          ++stats.inconclusive;
+          break;
+        case RunOutcome::Status::Diverge: {
+          ++stats.divergences;
+          if (stats.findings.size() >= opt.max_divergences) break;
+          auto still_fails = [&](const AbsProgram& cand) {
+            return oracles[0]->run(cand, nullptr).status == RunOutcome::Status::Diverge;
+          };
+          const ShrinkResult sr =
+              shrink_program(r.program, still_fails, opt.shrink_budget);
+          stats.shrink_runs += sr.oracle_runs;
+          FuzzFinding finding;
+          finding.shrunk = sr.program;
+          finding.detail = oracles[0]->run(sr.program, nullptr).detail;
+          if (finding.detail.empty()) finding.detail = r.outcome.detail;  // flaky shrink guard
+          finding.original_ops = r.program.size();
+          finding.job_index = next_job + slot;
+          trace::observe(trace::Histogram::FuzzShrunkLen, finding.shrunk.size());
+          stats.findings.push_back(std::move(finding));
+          break;
+        }
+        case RunOutcome::Status::Agree:
+          if (global.merge_count_new(r.cov) > 0) {
+            corpus.push_back(r.program);
+            ++stats.corpus_retained;
+          }
+          break;
+      }
+    }
+    next_job += round;
+  }
+
+  stats.coverage_nets = global.nets();
+  stats.covered_pairs = global.covered();
+
+  trace::add(trace::Counter::FuzzPrograms, stats.programs);
+  trace::add(trace::Counter::FuzzInstructions, stats.instructions);
+  trace::add(trace::Counter::FuzzInconclusive, stats.inconclusive);
+  trace::add(trace::Counter::FuzzDivergences, stats.divergences);
+  trace::add(trace::Counter::FuzzShrinkRuns, stats.shrink_runs);
+  trace::add(trace::Counter::FuzzCorpusRetained, stats.corpus_retained);
+  trace::add(trace::Counter::FuzzCoveredPairs, stats.covered_pairs);
+
+  if (!opt.out_dir.empty()) write_artifacts(target, opt, stats, corpus);
+  return stats;
+}
+
+}  // namespace pdat::fuzz

@@ -1,0 +1,227 @@
+#include "fuzz/oracle.h"
+
+#include <sstream>
+
+#include "netlist/netlist.h"
+
+namespace pdat::fuzz {
+namespace {
+
+// Step/cycle caps. Programs are loop-free (forward-only control) and at
+// most ~2 * max_ops instructions, so a well-formed run halts orders of
+// magnitude below these; hitting a cap means a model wedged, which is
+// reported as Inconclusive rather than a divergence.
+constexpr std::uint64_t kIssSteps = 4096;
+constexpr std::uint64_t kTbCycles = 8192;
+
+std::string compare_rv32(const std::vector<iss::Rv32Iss::TraceEntry>& a,
+                         const std::vector<iss::Rv32Iss::TraceEntry>& b) {
+  std::ostringstream os;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].pc != b[i].pc || a[i].rd != b[i].rd || a[i].rd_value != b[i].rd_value ||
+        a[i].mem_write != b[i].mem_write || a[i].mem_addr != b[i].mem_addr ||
+        a[i].mem_value != b[i].mem_value || a[i].mem_size != b[i].mem_size) {
+      os << "trace entry " << i << ": iss pc=0x" << std::hex << a[i].pc << " rd=x" << std::dec
+         << a[i].rd << "=0x" << std::hex << a[i].rd_value << " vs core pc=0x" << b[i].pc
+         << " rd=x" << std::dec << b[i].rd << "=0x" << std::hex << b[i].rd_value;
+      if (a[i].mem_write || b[i].mem_write) {
+        os << " | mem iss [0x" << a[i].mem_addr << "]=0x" << a[i].mem_value << "/" << std::dec
+           << a[i].mem_size << " core [0x" << std::hex << b[i].mem_addr << "]=0x"
+           << b[i].mem_value << "/" << std::dec << b[i].mem_size;
+      }
+      return os.str();
+    }
+  }
+  if (a.size() != b.size()) {
+    os << "trace length: iss " << a.size() << " vs core " << b.size();
+    return os.str();
+  }
+  return {};
+}
+
+std::string compare_thumb(const iss::ThumbIss& iss, const cores::Cm0Testbench& tb) {
+  std::ostringstream os;
+  const auto& ra = iss.reg_writes();
+  const auto& rb = tb.reg_writes();
+  for (std::size_t i = 0; i < std::min(ra.size(), rb.size()); ++i) {
+    if (ra[i].reg != rb[i].reg || ra[i].value != rb[i].value) {
+      os << "reg stream entry " << i << ": iss r" << ra[i].reg << "=0x" << std::hex
+         << ra[i].value << " core r" << std::dec << rb[i].reg << "=0x" << std::hex
+         << rb[i].value;
+      return os.str();
+    }
+  }
+  if (ra.size() != rb.size()) {
+    os << "reg stream length: iss " << ra.size() << " core " << rb.size();
+    return os.str();
+  }
+  const auto& ma = iss.mem_writes();
+  const auto& mb = tb.mem_writes();
+  for (std::size_t i = 0; i < std::min(ma.size(), mb.size()); ++i) {
+    if (ma[i].addr != mb[i].addr || ma[i].value != mb[i].value || ma[i].size != mb[i].size) {
+      os << "mem stream entry " << i << ": iss [0x" << std::hex << ma[i].addr << "]=0x"
+         << ma[i].value << "/" << std::dec << ma[i].size << " core [0x" << std::hex
+         << mb[i].addr << "]=0x" << mb[i].value << "/" << std::dec << mb[i].size;
+      return os.str();
+    }
+  }
+  if (ma.size() != mb.size()) {
+    os << "mem stream length: iss " << ma.size() << " core " << mb.size();
+    return os.str();
+  }
+  const unsigned core_flags = tb.final_flags();
+  const unsigned iss_flags = (iss.flag_n() ? 1u : 0) | (iss.flag_z() ? 2u : 0) |
+                             (iss.flag_c() ? 4u : 0) | (iss.flag_v() ? 8u : 0);
+  if (core_flags != iss_flags) {
+    os << "final flags: iss " << iss_flags << " core " << core_flags;
+    return os.str();
+  }
+  return {};
+}
+
+}  // namespace
+
+// --- RV32 --------------------------------------------------------------------
+
+Rv32DiffOracle::Rv32DiffOracle(const Rv32Generator& gen, const Netlist& baseline,
+                               const Netlist* reduced)
+    : gen_(gen),
+      base_tb_(baseline),
+      red_tb_(reduced ? std::make_unique<cores::IbexTestbench>(*reduced) : nullptr),
+      cov_nets_(reduced ? reduced->num_nets() : baseline.num_nets()) {}
+
+RunOutcome Rv32DiffOracle::run(const AbsProgram& p, CoverageMap* cov) {
+  const std::vector<std::uint32_t> words = gen_.encode_units(p);
+
+  iss::Rv32Iss iss;
+  iss.load_words(0, words);
+  iss.reset();
+  iss.set_tracing(true);
+  iss.run(kIssSteps);
+
+  RunOutcome out;
+  if (!iss.halted()) {
+    out.status = RunOutcome::Status::Inconclusive;
+    out.detail = "iss: did not halt";
+    return out;
+  }
+
+  auto run_tb = [&](cores::IbexTestbench& tb, const char* label,
+                    bool coverage_target) -> std::string {
+    tb.clear_memory();
+    tb.load_words(0, words);
+    tb.reset();
+    bool running = true;
+    std::uint64_t cycles = 0;
+    while (running && cycles < kTbCycles) {
+      running = tb.cycle();
+      if (coverage_target && cov != nullptr) cov->record(tb.sim());
+      ++cycles;
+    }
+    out.cycles += cycles;
+    if (running) {
+      out.status = RunOutcome::Status::Inconclusive;
+      return std::string(label) + ": did not halt";
+    }
+    const std::string diff = compare_rv32(iss.trace(), tb.trace());
+    if (!diff.empty()) {
+      out.status = RunOutcome::Status::Diverge;
+      return std::string(label) + ": " + diff;
+    }
+    return {};
+  };
+
+  out.detail = run_tb(base_tb_, "baseline", red_tb_ == nullptr);
+  if (!out.detail.empty()) return out;
+  if (red_tb_) {
+    out.detail = run_tb(*red_tb_, "reduced", true);
+    if (!out.detail.empty()) return out;
+  }
+  return out;
+}
+
+// --- Thumb -------------------------------------------------------------------
+
+ThumbDiffOracle::ThumbDiffOracle(const ThumbGenerator& gen, const Netlist& baseline,
+                                 const Netlist* reduced)
+    : gen_(gen),
+      base_tb_(baseline),
+      red_tb_(reduced ? std::make_unique<cores::Cm0Testbench>(*reduced) : nullptr),
+      cov_nets_(reduced ? reduced->num_nets() : baseline.num_nets()) {}
+
+RunOutcome ThumbDiffOracle::run(const AbsProgram& p, CoverageMap* cov) {
+  const std::vector<std::uint32_t> units = gen_.encode_units(p);
+  std::vector<std::uint16_t> halves(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) halves[i] = static_cast<std::uint16_t>(units[i]);
+
+  iss::ThumbIss iss;
+  iss.load_halfwords(0, halves);
+  iss.reset();
+  iss.set_tracing(true);
+  iss.run(kIssSteps);
+
+  RunOutcome out;
+  if (!iss.halted()) {
+    out.status = RunOutcome::Status::Inconclusive;
+    out.detail = "iss: did not halt";
+    return out;
+  }
+
+  auto run_tb = [&](cores::Cm0Testbench& tb, const char* label,
+                    bool coverage_target) -> std::string {
+    tb.clear_memory();
+    tb.load_halfwords(0, halves);
+    tb.reset();
+    bool running = true;
+    std::uint64_t cycles = 0;
+    while (running && cycles < kTbCycles) {
+      running = tb.cycle();
+      if (coverage_target && cov != nullptr) cov->record(tb.sim());
+      ++cycles;
+    }
+    out.cycles += cycles;
+    if (running) {
+      out.status = RunOutcome::Status::Inconclusive;
+      return std::string(label) + ": did not halt";
+    }
+    const std::string diff = compare_thumb(iss, tb);
+    if (!diff.empty()) {
+      out.status = RunOutcome::Status::Diverge;
+      return std::string(label) + ": " + diff;
+    }
+    return {};
+  };
+
+  out.detail = run_tb(base_tb_, "baseline", red_tb_ == nullptr);
+  if (!out.detail.empty()) return out;
+  if (red_tb_) {
+    out.detail = run_tb(*red_tb_, "reduced", true);
+    if (!out.detail.empty()) return out;
+  }
+  return out;
+}
+
+// --- convenience entry points ------------------------------------------------
+
+FuzzStats fuzz_rv32(const isa::RvSubset& subset, const Netlist& baseline, const Netlist* reduced,
+                    const FuzzOptions& opt, const GenOptions& gopt) {
+  const Rv32Generator gen(subset, gopt);
+  Target target;
+  target.gen = &gen;
+  target.name = "ibex";
+  target.make_oracle = [&] { return std::make_unique<Rv32DiffOracle>(gen, baseline, reduced); };
+  return run_fuzz(target, opt);
+}
+
+FuzzStats fuzz_thumb(const isa::ThumbSubset& subset, const Netlist& baseline,
+                     const Netlist* reduced, const FuzzOptions& opt, const GenOptions& gopt) {
+  const ThumbGenerator gen(subset, gopt);
+  Target target;
+  target.gen = &gen;
+  target.name = "cm0";
+  target.make_oracle = [&] { return std::make_unique<ThumbDiffOracle>(gen, baseline, reduced); };
+  return run_fuzz(target, opt);
+}
+
+}  // namespace pdat::fuzz

@@ -1,0 +1,31 @@
+// Trace shrinking: delta debugging (ddmin) over the abstract instruction
+// stream, followed by operand canonicalization. Works on AbsProgram so
+// control transfers stay valid under deletion (targets are relative skips
+// that clamp to the terminator).
+#pragma once
+
+#include <functional>
+
+#include "fuzz/fuzz.h"
+
+namespace pdat::fuzz {
+
+struct ShrinkResult {
+  AbsProgram program;
+  std::size_t oracle_runs = 0;  // predicate evaluations spent
+};
+
+/// Minimizes `p` while `still_fails` holds. `still_fails(p)` must be true on
+/// entry (the caller verified the divergence); `budget` bounds how many times
+/// the predicate — typically a full three-oracle run — is evaluated.
+///
+/// Phase 1, ddmin: remove complements of chunks at increasing granularity
+/// until 1-minimal (no single op can be removed).
+/// Phase 2, canonicalization: per surviving op, try opseed = 0 (the simplest
+/// operand draw) and skip = 1 (fall-through control), keeping changes that
+/// preserve the failure. This makes reproducers stable and human-readable.
+ShrinkResult shrink_program(const AbsProgram& p,
+                            const std::function<bool(const AbsProgram&)>& still_fails,
+                            std::size_t budget);
+
+}  // namespace pdat::fuzz

@@ -368,24 +368,48 @@ PdatResult run_pdat(const Netlist& design,
   check_stage_deadline(PdatStage::Resynthesis);
 
   // --- validation safety net -------------------------------------------------
-  if (opt.validate.enabled) {
+  const bool fuzzing = opt.fuzz_iterations > 0;
+  if (opt.validate.enabled || fuzzing) {
     check_interrupt(PdatStage::Validate);
     begin_stage(PdatStage::Validate);
     try {
-      validate::ValidationOptions vopt = opt.validate;
-      if (opt.certify) vopt.miter.certify = true;
-      const double budget = clk.stage_budget();
-      if (std::isfinite(budget) && vopt.miter.deadline_seconds <= 0) {
-        vopt.miter.deadline_seconds = budget;
+      if (opt.validate.enabled) {
+        validate::ValidationOptions vopt = opt.validate;
+        if (opt.certify) vopt.miter.certify = true;
+        const double budget = clk.stage_budget();
+        if (std::isfinite(budget) && vopt.miter.deadline_seconds <= 0) {
+          vopt.miter.deadline_seconds = budget;
+        }
+        res.validation =
+            validate::run_validation(design, res.transformed, restrict_fn, proven, vopt);
+        if (!res.validation.ok()) {
+          if (opt.validate.fail_hard) throw ValidationError(res.validation.summary());
+          res.transformed = design;  // never ship a core a validator rejected
+          res.rewires = {};
+          res.resynthesis = {};
+          degrade(PdatStage::Validate,
+                  res.validation.summary() + " — reverted to unreduced design");
+        }
       }
-      res.validation = validate::run_validation(design, res.transformed, restrict_fn, proven, vopt);
-      if (!res.validation.ok()) {
-        if (opt.validate.fail_hard) throw ValidationError(res.validation.summary());
-        res.transformed = design;  // never ship a core a validator rejected
-        res.rewires = {};
-        res.resynthesis = {};
-        degrade(PdatStage::Validate,
-                res.validation.summary() + " — reverted to unreduced design");
+      if (fuzzing) {
+        if (!opt.fuzz_fn)
+          throw PdatError("fuzz_iterations > 0 but no fuzz_fn installed (ISA hook missing)");
+        fuzz::FuzzOptions fopt;
+        fopt.seed = opt.fuzz_seed;
+        fopt.iterations = opt.fuzz_iterations;
+        fopt.threads = opt.fuzz_threads;
+        fopt.out_dir = opt.fuzz_dir;
+        res.fuzz = opt.fuzz_fn(design, res.transformed, fopt);
+        if (!res.fuzz.findings.empty()) {
+          const std::string msg =
+              "fuzz found " + std::to_string(res.fuzz.divergences) +
+              " diverging program(s); first: " + res.fuzz.findings.front().detail;
+          if (opt.validate.fail_hard) throw ValidationError(msg);
+          res.transformed = design;  // never ship a core the fuzzer broke
+          res.rewires = {};
+          res.resynthesis = {};
+          degrade(PdatStage::Validate, msg + " — reverted to unreduced design");
+        }
       }
     } catch (const ValidationError&) {
       throw;

@@ -105,6 +105,22 @@ constexpr MetricDef kCounterDefs[] = {
      "certificates rejected (each raises CertificationError; must be 0)"},
     {MetricKind::Counter, "cert.proof_bytes", "bytes", false,
      "in-memory DRAT trace bytes replayed by the checker"},
+    // The fuzz.* family is populated only under --fuzz; like cert.* it stays
+    // out of the deterministic subtree so the subtree is fuzz-invariant.
+    {MetricKind::Counter, "fuzz.programs", "1", false,
+     "programs run through the differential oracles"},
+    {MetricKind::Counter, "fuzz.instructions", "1", false,
+     "abstract instructions generated across all fuzzed programs"},
+    {MetricKind::Counter, "fuzz.inconclusive", "1", false,
+     "runs where a model failed to halt within its cap (not divergences)"},
+    {MetricKind::Counter, "fuzz.divergences", "1", false,
+     "programs whose architectural trace diverged between oracles"},
+    {MetricKind::Counter, "fuzz.shrink_runs", "1", false,
+     "oracle evaluations spent inside delta-debugging shrinks"},
+    {MetricKind::Counter, "fuzz.corpus_retained", "1", false,
+     "programs kept in the corpus for covering new gate toggle polarities"},
+    {MetricKind::Counter, "fuzz.covered_pairs", "1", false,
+     "distinct (net, polarity) toggle pairs covered on the target core"},
 };
 static_assert(std::size(kCounterDefs) == kNumCounters,
               "every Counter enumerator needs a registry row");
@@ -128,6 +144,8 @@ constexpr MetricDef kHistogramDefs[] = {
      "wall-clock time per certificate check (trace replay + verdict check)"},
     {MetricKind::Histogram, "cert.proof_lines", "lines", false,
      "DRAT lines replayed per certificate check"},
+    {MetricKind::Histogram, "fuzz.shrunk_len", "ops", false,
+     "abstract-instruction count of each shrunk reproducer"},
 };
 static_assert(std::size(kHistogramDefs) == kNumHistograms,
               "every Histogram enumerator needs a registry row");

@@ -102,6 +102,14 @@ enum class Counter : unsigned {
   CertCertificatesChecked,
   CertCertificatesFailed,
   CertProofBytes,
+  // Differential fuzzing (--fuzz).
+  FuzzPrograms,
+  FuzzInstructions,
+  FuzzInconclusive,
+  FuzzDivergences,
+  FuzzShrinkRuns,
+  FuzzCorpusRetained,
+  FuzzCoveredPairs,
   kCount,
 };
 inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
@@ -116,6 +124,7 @@ enum class Histogram : unsigned {
   CoiConeCells,
   CertCheckMicros,
   CertProofLines,
+  FuzzShrunkLen,
   kCount,
 };
 inline constexpr std::size_t kNumHistograms = static_cast<std::size_t>(Histogram::kCount);

@@ -26,6 +26,8 @@ constexpr const char* kFailpointSites[] = {
     "procworker.child_entry",   // forked proof worker, before the job runs
     "procworker.pipe_write",    // procworker pipe record write (either side)
     "procworker.pipe_read",     // procworker pipe record read (either side)
+    "ibex_tb.fetch_fault",      // corrupt fetched R-type words (decoder-fault chaos)
+    "cm0_tb.fetch_fault",       // corrupt fetched DP-register halfwords
 };
 
 enum class Action { Throw, Enospc, Abort, Segv, Kill, Exit, Delay };

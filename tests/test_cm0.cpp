@@ -226,6 +226,48 @@ TEST(Cm0Cosim, StmLdmWalk) {
   )"), "");
 }
 
+TEST(Cm0Cosim, FullListPushPopAndSingleRegisterStmLdm) {
+  // Directed lockstep anchor for the fuzzer's multi-transfer coverage
+  // (src/fuzz/): the densest reglist the generator can emit plus the
+  // degenerate single-register stm/ldm forms.
+  EXPECT_EQ(cosim(R"(
+      movs r0, #1
+      movs r1, #2
+      movs r2, #3
+      movs r3, #4
+      movs r4, #5
+      movs r5, #6
+      movs r6, #7
+      movs r7, #8
+      push {r0, r1, r2, r3, r4, r5, r6, r7, lr}
+      movs r0, #0
+      movs r3, #0
+      movs r7, #0
+      pop {r0, r1, r2, r3, r4, r5, r6, r7}
+      li r6, 0x2100
+      stm r6, {r7}
+      li r5, 0x2100
+      ldm r5, {r0}
+      bkpt #0
+  )"), "");
+}
+
+TEST(Cm0Cosim, LdmStmWritebackFeedsNextInstruction) {
+  // The base-register writeback of ldm/stm is itself a RAW hazard source:
+  // use the written-back base as data and as an address immediately after.
+  EXPECT_EQ(cosim(R"(
+      li r4, 0x2200
+      movs r0, #9
+      stm r4, {r0}        @ writeback: r4 -> 0x2204
+      subs r4, #4
+      ldm r4, {r1, r2}    @ writeback: r4 -> 0x2208
+      str r4, [r4, #0]    @ store the writeback value at itself
+      ldr r3, [r4, #0]
+      adds r3, r3, r1     # and fold in the ldm-loaded data
+      bkpt #0
+  )"), "");
+}
+
 TEST(Cm0Cosim, ExtendAndReverse) {
   EXPECT_EQ(cosim(R"(
       li r0, 0x8199aabb

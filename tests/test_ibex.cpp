@@ -145,6 +145,32 @@ TEST(IbexCosim, MisalignedAccessesCrossWordBoundaries) {
   )"), "");
 }
 
+TEST(IbexCosim, MisalignedRawPairsInterlockWithTwoPhaseLsu) {
+  // Directed lockstep anchor for the fuzzer's MisMem/RAW bias (src/fuzz/):
+  // every split access's result is consumed by the very next instruction,
+  // so the two-phase LSU sequencer must interlock with RAW forwarding —
+  // through the register file, through memory, and through the address path.
+  EXPECT_EQ(cosim_asm(R"(
+      li t0, 0x604
+      li t1, 0xDEADBEEF
+      sw t1, 3(t0)        # split store...
+      lw a0, 3(t0)        #   ...reloaded split (RAW through memory)
+      addi a1, a0, 1      # load-use RAW straight after phase 2
+      lhu a2, 3(t0)       # split halfword load
+      add a3, a2, a2      # its result feeds the ALU...
+      sh a3, 1(t0)        #   ...and then a split store's data
+      li t2, 0x700
+      li t3, 0x705
+      sw t3, 2(t2)        # store a pointer, misaligned
+      lw t4, 2(t2)        # reload it
+      sb t4, 0(t4)        # and use it as the base address immediately
+      lbu a4, 5(t2)
+      lw a5, 0(t0)        # aligned readback of the mixed bytes
+      lw a6, 4(t0)
+      ebreak
+  )"), "");
+}
+
 TEST(IbexCosim, BranchesAndJumps) {
   EXPECT_EQ(cosim_asm(R"(
       li a0, 0

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "base/rng.h"
+#include "base/types.h"
 #include "isa/rv32_assembler.h"
 #include "isa/rv32_isa.h"
 #include "isa/rv32_subsets.h"
@@ -222,6 +224,85 @@ TEST(Compressible, MatchesSpecRules) {
   EXPECT_TRUE(rv32_compressible(enc("sub", 8, 8, 9, 0), &cn));
   EXPECT_EQ(cn, "c.sub");
   EXPECT_FALSE(rv32_compressible(enc("sub", 8, 9, 8, 0), &cn));
+}
+
+// --- subset edge cases (the fuzzer's generator contract, src/fuzz/) ---------
+
+TEST(SubsetEdge, EmptySubsetContainsNothingAndCannotBeSampled) {
+  const RvSubset empty = rv32_subset_from_names("empty", {});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_FALSE(empty.contains("addi"));
+  EXPECT_FALSE(empty.contains(0));
+  Rng rng(7);
+  EXPECT_THROW(sample_subset_word(empty, rng), PdatError);
+}
+
+TEST(SubsetEdge, FullSubsetContainsEveryTableEntry) {
+  const RvSubset all = rv32_subset_all();
+  const auto& table = rv32_instructions();
+  EXPECT_EQ(all.size(), table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_TRUE(all.contains(static_cast<int>(i))) << table[i].name;
+    EXPECT_TRUE(all.contains(table[i].name)) << table[i].name;
+  }
+}
+
+TEST(SubsetEdge, CompressedOnlySubsetSamplesOnlyCompressedWords) {
+  // A subset of nothing but 16-bit encodings: every sampled fetch word must
+  // match one of its members on the low half (op != 11).
+  std::vector<std::string> names;
+  for (const auto& spec : rv32_instructions()) {
+    if (spec.compressed) names.emplace_back(spec.name);
+  }
+  ASSERT_FALSE(names.empty());
+  const RvSubset conly = rv32_subset_from_names("compressed-only", names);
+  EXPECT_EQ(conly.size(), names.size());
+  const auto& table = rv32_instructions();
+  for (int idx : conly.instrs) {
+    EXPECT_TRUE(table[static_cast<std::size_t>(idx)].compressed);
+  }
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t w = sample_subset_word(conly, rng);
+    EXPECT_NE(w & 3u, 3u) << "compressed words never have op==11";
+    bool matched = false;
+    for (int idx : conly.instrs) {
+      if (table[static_cast<std::size_t>(idx)].matches(w)) matched = true;
+    }
+    EXPECT_TRUE(matched) << "word " << std::hex << w;
+  }
+}
+
+TEST(SubsetEdge, AssembledProgramRoundTripsThroughMembership) {
+  // Every word the assembler emits for in-subset mnemonics must decode back
+  // to a spec the subset contains — the same closure the fuzz generator
+  // promises for its concrete encodings.
+  const RvSubset sub = rv32_subset_named("rv32i");
+  const auto prog = assemble_rv32(
+      "addi x1, x0, 5\n"
+      "slli x2, x1, 3\n"
+      "lw x3, 0(x2)\n"
+      "beq x1, x3, 8\n"
+      "sw x1, 4(x2)\n"
+      "jal x0, -16\n"
+      "ecall\n");
+  ASSERT_FALSE(prog.words.empty());
+  for (const std::uint32_t w : prog.words) {
+    const RvInstrSpec* spec = rv32_decode_spec(w);
+    ASSERT_NE(spec, nullptr) << std::hex << w;
+    EXPECT_TRUE(sub.contains(spec->name)) << spec->name;
+  }
+}
+
+TEST(SubsetEdge, WithoutRemovesExactlyTheNamedMembers) {
+  const RvSubset base = rv32_subset_named("rv32i");
+  const RvSubset cut = base.without({"jalr", "ecall"}).with_name("cut");
+  EXPECT_EQ(cut.name, "cut");
+  EXPECT_EQ(cut.size(), base.size() - 2);
+  EXPECT_FALSE(cut.contains("jalr"));
+  EXPECT_FALSE(cut.contains("ecall"));
+  EXPECT_TRUE(cut.contains("jal"));
+  EXPECT_TRUE(cut.contains("ebreak"));
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include "base/types.h"
 #include "isa/thumb_assembler.h"
 #include "isa/thumb_encoding.h"
+#include "isa/thumb_subsets.h"
 
 namespace pdat::isa {
 namespace {
@@ -108,6 +109,64 @@ TEST(ThumbAsm, RegListEncoding) {
   const ThumbFields g = thumb_extract(thumb_instr("ldm"), prog.halves[1]);
   EXPECT_EQ(g.rn, 2u);
   EXPECT_EQ(g.reglist, 1u);
+}
+
+// --- subset edge cases (the fuzzer's generator contract, src/fuzz/) ---------
+
+TEST(ThumbSubsetEdge, EmptySubsetContainsNothing) {
+  const ThumbSubset empty = thumb_subset_from_names("empty", {});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_FALSE(empty.contains("movs.i8"));
+  EXPECT_FALSE(empty.has_wide());
+}
+
+TEST(ThumbSubsetEdge, FullSubsetContainsEveryTableEntry) {
+  const ThumbSubset all = thumb_subset_all();
+  const auto& table = thumb_instructions();
+  EXPECT_EQ(all.size(), table.size());
+  for (const auto& spec : table) {
+    EXPECT_TRUE(all.contains(spec.name)) << spec.name;
+  }
+  EXPECT_TRUE(all.has_wide());
+}
+
+TEST(ThumbSubsetEdge, InterestingSubsetIsNarrowOnly) {
+  // The paper's §VII-B subset drops every 32-bit encoding; the Thumb fuzz
+  // generator relies on this to emit a pure halfword stream.
+  const ThumbSubset sub = thumb_subset_interesting();
+  EXPECT_FALSE(sub.has_wide());
+  EXPECT_FALSE(sub.contains("bl"));
+  EXPECT_FALSE(sub.contains("muls"));
+  EXPECT_TRUE(sub.contains("movs.i8"));
+  const auto& table = thumb_instructions();
+  for (int idx : sub.instrs) {
+    const auto& spec = table[static_cast<std::size_t>(idx)];
+    EXPECT_FALSE(spec.wide) << spec.name;
+  }
+}
+
+TEST(ThumbSubsetEdge, AssembledProgramRoundTripsThroughMembership) {
+  // Every halfword the assembler emits for in-subset mnemonics must decode
+  // back to a spec the subset contains — the closure the fuzz generator
+  // promises for its concrete encodings.
+  const ThumbSubset sub = thumb_subset_interesting();
+  const auto prog = assemble_thumb(R"(
+    top:
+      movs r0, #5
+      lsls r1, r0, #2
+      adds r2, r0, r1
+      cmp r2, r0
+      bne top
+      str r2, [r1, #4]
+      bkpt #0
+  )");
+  ASSERT_FALSE(prog.halves.empty());
+  for (const std::uint16_t hw : prog.halves) {
+    ASSERT_FALSE(thumb_is_wide_prefix(hw)) << std::hex << hw;
+    const ThumbInstrSpec* spec = thumb_decode(hw);
+    ASSERT_NE(spec, nullptr) << std::hex << hw;
+    EXPECT_TRUE(sub.contains(spec->name)) << spec->name;
+  }
 }
 
 }  // namespace
